@@ -1,0 +1,66 @@
+// Dictextract: the paper (§3.4) finds that outside Singapore nearly
+// all data dictionaries are published in unstructured formats and
+// names automatic extraction an important research topic. This example
+// generates a portal whose datasets carry CSV, HTML, markdown, and
+// plain-prose dictionaries, extracts them all, and measures how much
+// of each dataset's schema the extraction explains.
+//
+//	go run ./examples/dictextract
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ogdp"
+)
+
+func main() {
+	prof, ok := ogdp.Portal("CA")
+	if !ok {
+		log.Fatal("CA profile missing")
+	}
+	corpus := ogdp.GenerateCorpus(prof, 0.1, 21)
+
+	byFormat := map[string]int{}
+	var docs, covered, tables int
+	var coverageSum float64
+	shown := 0
+	for _, m := range corpus.Metas {
+		tables++
+		doc, ok := ogdp.DatasetMetadataDoc(corpus, m.Dataset, 77)
+		if !ok {
+			continue
+		}
+		d := ogdp.ExtractDictionary(doc)
+		if len(d.Entries) == 0 {
+			continue
+		}
+		docs++
+		byFormat[d.Format]++
+		cov := ogdp.DictionaryCoverage(d, m.Table)
+		coverageSum += cov
+		if cov > 0.99 {
+			covered++
+		}
+		if shown < 3 {
+			shown++
+			fmt.Printf("table %s (dictionary format: %s, coverage %.0f%%):\n", m.Table.Name, d.Format, cov*100)
+			for i, e := range d.Entries {
+				if i == 3 {
+					fmt.Println("   ...")
+					break
+				}
+				fmt.Printf("   %-18s %s\n", e.Column, e.Description)
+			}
+		}
+	}
+
+	fmt.Printf("\n%d of %d tables belong to datasets with an extractable dictionary\n", docs, tables)
+	fmt.Printf("formats extracted: %v\n", byFormat)
+	if docs > 0 {
+		fmt.Printf("average schema coverage: %.0f%%, fully covered: %d\n", 100*coverageSum/float64(docs), covered)
+	}
+	fmt.Println("\nthe remainder matches Table 3's 'outside portal' and 'lacking' mass —")
+	fmt.Println("no dictionary exists to extract, which is the paper's core complaint.")
+}

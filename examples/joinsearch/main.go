@@ -1,0 +1,80 @@
+// Joinsearch: generate a calibrated synthetic portal, find joinable
+// table pairs by value overlap (Jaccard >= 0.9, >= 10 distinct values),
+// and show why raw overlap is a weak signal: expansion ratios and the
+// paper-recommended filters separate useful joins from accidental ones.
+//
+//	go run ./examples/joinsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"ogdp"
+)
+
+func main() {
+	prof, ok := ogdp.Portal("CA")
+	if !ok {
+		log.Fatal("CA profile missing")
+	}
+	corpus := ogdp.GenerateCorpus(prof, 0.08, 7)
+	tables := corpus.Tables()
+	fmt.Printf("generated %d tables across %d datasets\n", len(tables), len(corpus.Datasets))
+
+	analysis := ogdp.FindJoinable(tables, ogdp.JoinOptions{})
+	fmt.Printf("joinable pairs at Jaccard >= 0.9: %d\n\n", len(analysis.Pairs))
+
+	// Sort by expansion ratio to contrast tight and exploding joins.
+	pairs := append([]ogdp.JoinPair(nil), analysis.Pairs...)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Expansion < pairs[j].Expansion })
+
+	show := func(p ogdp.JoinPair) {
+		t1, t2 := tables[p.T1], tables[p.T2]
+		fmt.Printf("  %s.%s  ⨝  %s.%s\n", t1.Name, t1.Cols[p.C1], t2.Name, t2.Cols[p.C2])
+		fmt.Printf("    jaccard=%.3f expansion=%.2f key1=%v key2=%v\n",
+			p.Jaccard, p.Expansion, p.Key1, p.Key2)
+	}
+	if len(pairs) > 0 {
+		fmt.Println("tightest join (likely useful — non-growing):")
+		show(pairs[0])
+		fmt.Println("\nmost explosive join (likely accidental — §5.2):")
+		show(pairs[len(pairs)-1])
+	}
+
+	// Apply the paper-recommended filters (same dataset, key involved,
+	// non-incremental type, bounded expansion).
+	var kept int
+	for _, p := range analysis.Pairs {
+		var pred predictor
+		if pred.keep(tables, p) {
+			kept++
+		}
+	}
+	fmt.Printf("\npairs surviving the paper-recommended filters: %d of %d (%.1f%%)\n",
+		kept, len(analysis.Pairs), 100*float64(kept)/float64(max(1, len(analysis.Pairs))))
+	fmt.Println("the paper finds ~81-87% of high-overlap pairs accidental; filtering")
+	fmt.Println("on non-value signals is how integration systems should rank them.")
+}
+
+// predictor mirrors classify.Predictor through the public surface.
+type predictor struct{}
+
+func (predictor) keep(tables []*ogdp.Table, p ogdp.JoinPair) bool {
+	if p.Expansion > 2 {
+		return false
+	}
+	if !p.Key1 && !p.Key2 {
+		return false
+	}
+	t1 := tables[p.T1]
+	return t1.DatasetID != "" && t1.DatasetID == tables[p.T2].DatasetID
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+// Normalization: take a pre-joined table like those OGDPs publish (the
+// Chicago budget-recommendations pattern of §4.3: FundCode ->
+// FundDescription, FundType) and decompose it into BCNF, exposing the
+// useful sub-tables hidden inside.
+//
+//	go run ./examples/normalization
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ogdp"
+)
+
+func main() {
+	// Build the denormalized budget table: one row per appropriation
+	// line, with fund and department attributes repeated everywhere.
+	var b strings.Builder
+	b.WriteString("line_id,fund_code,fund_description,fund_type,dept_number,dept_description,amount\n")
+	fundTypes := []string{"Operating", "Capital", "Grant"}
+	for i := 0; i < 90; i++ {
+		fund := 100 + (i%6)*7
+		dept := 10 + (i%9)*3
+		fmt.Fprintf(&b, "%d,%d,Fund %d Appropriations,%s,%d,Department of Service %d,%d\n",
+			i+1, fund, fund, fundTypes[i%3], dept, dept, 1000+(i*137)%9000)
+	}
+
+	t, err := ogdp.ReadCSV("budget.csv", strings.NewReader(b.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original: %s\n", t)
+
+	fds := ogdp.DiscoverFDs(t)
+	fmt.Printf("\n%d minimal non-trivial FDs, e.g.:\n", len(fds))
+	for i, f := range fds {
+		if i == 4 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", f.Format(t))
+	}
+
+	res := ogdp.DecomposeBCNF(t, 42)
+	fmt.Printf("\nBCNF decomposition: %d sub-tables (%d steps)\n", len(res.Tables), res.Steps)
+	for _, st := range res.Tables {
+		fmt.Printf("  [%s]  %d rows\n", strings.Join(st.Cols, ", "), st.NumRows())
+	}
+	fmt.Printf("\navg uniqueness gain for unrepeated columns: %.2fx\n", res.UniquenessGain())
+	fmt.Println("\nthe fund and department lookup sub-tables are exactly the kind of")
+	fmt.Println("useful base tables the paper suggests systems should surface (§4.3).")
+
+	fmt.Println("\nthe decomposition as a relational schema (inferred types, keys, fks):")
+	fmt.Println(ogdp.ExportSQL(res.Tables, true))
+}

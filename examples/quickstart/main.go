@@ -1,0 +1,52 @@
+// Quickstart: parse a CSV with the paper's pipeline, profile its
+// columns, and discover functional dependencies.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ogdp"
+)
+
+// A small denormalized table in the style OGDPs publish: one row per
+// grant with the city's province repeated (City -> Province FD).
+const grantsCSV = `grant_id,city,province,amount,year
+1,Waterloo,ON,12000,2021
+2,Toronto,ON,8000,2021
+3,Montreal,QC,15000,2021
+4,Waterloo,ON,9500,2022
+5,Vancouver,BC,20000,2022
+6,Toronto,ON,7000,2022
+7,Montreal,QC,11000,2022
+8,Vancouver,BC,13500,2021
+`
+
+func main() {
+	t, err := ogdp.ReadCSV("grants.csv", strings.NewReader(grantsCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %s\n\n", t)
+
+	fmt.Println("column profiles:")
+	for c := range t.Cols {
+		p := t.Profile(c)
+		fmt.Printf("  %-10s type=%-20s distinct=%d nulls=%d uniqueness=%.2f key=%v\n",
+			p.Name, p.Type, p.Distinct, p.Nulls, p.Uniqueness(), p.IsKey())
+	}
+
+	fmt.Printf("\nsingle-column keys: ")
+	for _, c := range ogdp.KeyColumns(t) {
+		fmt.Printf("%s ", t.Cols[c])
+	}
+	fmt.Printf("\nminimum candidate key size: %d\n", ogdp.MinCandidateKeySize(t))
+
+	fmt.Println("\nfunctional dependencies (FUN algorithm, |LHS| <= 4):")
+	for _, f := range ogdp.DiscoverFDs(t) {
+		fmt.Printf("  %s\n", f.Format(t))
+	}
+}

@@ -1,0 +1,55 @@
+// Unionsearch: generate a synthetic portal and find unionable table
+// sets by exact schema identity (§6), showing the periodic-publication
+// pattern that dominates them and the schema-collision false positives.
+//
+//	go run ./examples/unionsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ogdp"
+)
+
+func main() {
+	prof, ok := ogdp.Portal("UK")
+	if !ok {
+		log.Fatal("UK profile missing")
+	}
+	corpus := ogdp.GenerateCorpus(prof, 0.06, 11)
+	tables := corpus.Tables()
+
+	analysis := ogdp.FindUnionable(tables)
+	fmt.Printf("tables: %d   unique schemas: %d   unionable groups: %d\n",
+		len(tables), analysis.UniqueSchemas, len(analysis.Groups))
+	fmt.Printf("unionable tables: %d (%.1f%%)\n\n",
+		analysis.UnionableTables(),
+		100*float64(analysis.UnionableTables())/float64(len(tables)))
+
+	for i, g := range analysis.Groups {
+		if i == 5 {
+			fmt.Println("...")
+			break
+		}
+		first := tables[g.Tables[0]]
+		where := "across datasets"
+		if g.SingleDataset() {
+			where = "single dataset"
+		}
+		fmt.Printf("group of %d (%s): schema [%s]\n", len(g.Tables), where, strings.Join(first.Cols, ", "))
+		for j, ti := range g.Tables {
+			if j == 4 {
+				fmt.Println("    ...")
+				break
+			}
+			fmt.Printf("    %s\n", tables[ti].Name)
+		}
+		u := analysis.Union(g)
+		fmt.Printf("    union-all: %d rows\n", u.NumRows())
+	}
+
+	fmt.Println("\nperiodically published tables dominate unionable sets (§6); schema")
+	fmt.Println("identity is a robust signal except for standardized schemas and duplicates.")
+}

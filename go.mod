@@ -1,0 +1,3 @@
+module ogdp
+
+go 1.22

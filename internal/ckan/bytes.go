@@ -1,0 +1,9 @@
+package ckan
+
+import (
+	"bytes"
+	"io"
+)
+
+// bytesReader adapts a byte slice to io.Reader without copying.
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

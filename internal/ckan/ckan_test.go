@@ -1,0 +1,184 @@
+package ckan
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// testPortal builds a small portal with every failure mode.
+func testPortal() *Portal {
+	good := []byte("id,name,province\n1,Waterloo,ON\n2,Toronto,ON\n")
+	wide := func() []byte {
+		row1, row2 := "", ""
+		for i := 0; i < 150; i++ {
+			if i > 0 {
+				row1 += ","
+				row2 += ","
+			}
+			row1 += "c"
+			row2 += "1"
+		}
+		return []byte(row1 + "\n" + row2 + "\n")
+	}()
+	return &Portal{
+		Name: "T",
+		Datasets: []*Dataset{
+			{
+				ID: "ds-1", Title: "Cities", Published: time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC),
+				Metadata: MetadataStructured,
+				Resources: []*Resource{
+					{ID: "r-1", Name: "cities.csv", Format: "CSV", URL: "/download/r-1", Body: good},
+					{ID: "r-2", Name: "notes.pdf", Format: "PDF", URL: "/download/r-2", Body: []byte("%PDF-1.4")},
+				},
+			},
+			{
+				ID: "ds-2", Title: "Broken things", Published: time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC),
+				Resources: []*Resource{
+					{ID: "r-3", Name: "gone.csv", Format: "CSV", URL: "/download/r-3", Broken: BrokenNotFound},
+					{ID: "r-4", Name: "page.csv", Format: "CSV", URL: "/download/r-4", Broken: BrokenHTMLPage},
+					{ID: "r-5", Name: "junk.csv", Format: "CSV", URL: "/download/r-5", Broken: BrokenGarbage},
+					{ID: "r-6", Name: "wide.csv", Format: "CSV", URL: "/download/r-6", Body: wide},
+					{ID: "r-7", Name: "more.csv", Format: "CSV", URL: "/download/r-7", Body: good},
+				},
+			},
+		},
+	}
+}
+
+func TestServerPackageList(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testPortal()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/3/action/package_list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Success bool     `json:"success"`
+		Result  []string `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Success || len(out.Result) != 2 || out.Result[0] != "ds-1" {
+		t.Errorf("package_list = %+v", out)
+	}
+}
+
+func TestServerPackageShow(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testPortal()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/3/action/package_show?id=ds-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Success bool        `json:"success"`
+		Result  packageJSON `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Success || out.Result.Title != "Cities" || len(out.Result.Resources) != 2 {
+		t.Errorf("package_show = %+v", out)
+	}
+
+	resp2, err := http.Get(srv.URL + "/api/3/action/package_show?id=missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("missing dataset: status %d", resp2.StatusCode)
+	}
+}
+
+func TestServerDownloadModes(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testPortal()))
+	defer srv.Close()
+
+	get := func(id string) *http.Response {
+		resp, err := http.Get(srv.URL + "/download/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if resp := get("r-1"); resp.StatusCode != 200 {
+		t.Errorf("good resource: %d", resp.StatusCode)
+	}
+	if resp := get("r-3"); resp.StatusCode != 404 {
+		t.Errorf("BrokenNotFound: %d", resp.StatusCode)
+	}
+	if resp := get("r-4"); resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "text/html" {
+		t.Errorf("BrokenHTMLPage: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if resp := get("nope"); resp.StatusCode != 404 {
+		t.Errorf("unknown resource: %d", resp.StatusCode)
+	}
+}
+
+func TestClientFetchAllFunnel(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testPortal()))
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	tables, stats, err := client.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 advertised CSVs; r-3 not downloadable; r-4 (html), r-5 (binary)
+	// unreadable; r-6 too wide; r-1 and r-7 readable.
+	if stats.Datasets != 2 || stats.Tables != 6 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Downloadable != 5 {
+		t.Errorf("downloadable = %d, want 5", stats.Downloadable)
+	}
+	if stats.Readable != 2 {
+		t.Errorf("readable = %d, want 2", stats.Readable)
+	}
+	if stats.TooWide != 1 {
+		t.Errorf("tooWide = %d, want 1", stats.TooWide)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	ft := tables[0]
+	if ft.DatasetID != "ds-1" || ft.Table.NumRows() != 2 || ft.RawSize == 0 {
+		t.Errorf("fetched table = %+v", ft)
+	}
+	if ft.Published.Year() != 2020 {
+		t.Errorf("published = %v", ft.Published)
+	}
+	if ft.Table.DatasetID != "ds-1" {
+		t.Errorf("table DatasetID not propagated: %q", ft.Table.DatasetID)
+	}
+}
+
+func TestPortalLookups(t *testing.T) {
+	p := testPortal()
+	if p.NumTables() != 6 {
+		t.Errorf("NumTables = %d", p.NumTables())
+	}
+	if p.Resource("r-5") == nil || p.Resource("zzz") != nil {
+		t.Error("Resource lookup wrong")
+	}
+	if p.Dataset("ds-2") == nil || p.Dataset("zzz") != nil {
+		t.Error("Dataset lookup wrong")
+	}
+}
+
+func TestMetadataStyleString(t *testing.T) {
+	for m := MetadataLacking; m <= MetadataOutside; m++ {
+		if m.String() == "invalid" {
+			t.Errorf("MetadataStyle(%d) unnamed", m)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package ckan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"ogdp/internal/csvio"
+	"ogdp/internal/sniff"
+	"ogdp/internal/table"
+)
+
+// Client fetches a portal's CSV resources through the CKAN API,
+// reproducing the paper's acquisition pipeline.
+type Client struct {
+	// BaseURL of the CKAN API, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+	// ReadOptions tunes the parsing step.
+	ReadOptions csvio.Options
+}
+
+// NewClient creates a fetch client for the portal at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// FetchedTable is a resource that survived the full pipeline.
+type FetchedTable struct {
+	DatasetID    string
+	DatasetTitle string
+	Published    time.Time
+	Resource     string
+	Table        *table.Table
+	RawSize      int64 // bytes of the raw CSV body
+}
+
+// FunnelStats counts resources through the pipeline stages the paper
+// reports in Table 1.
+type FunnelStats struct {
+	Datasets     int
+	Tables       int // resources advertised as CSV
+	Downloadable int // HTTP 200
+	Readable     int // sniffed as tabular, header inferred, parsed
+	TooWide      int // rejected by the wide-table cutoff
+}
+
+// FetchAll runs the pipeline over every dataset in the portal and
+// returns the readable tables along with funnel statistics.
+func (c *Client) FetchAll() ([]*FetchedTable, FunnelStats, error) {
+	var stats FunnelStats
+	ids, err := c.packageList()
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Datasets = len(ids)
+
+	var out []*FetchedTable
+	for _, id := range ids {
+		pkg, err := c.packageShow(id)
+		if err != nil {
+			return nil, stats, err
+		}
+		published, _ := time.Parse("2006-01-02T15:04:05", pkg.Created)
+		for _, res := range pkg.Resources {
+			if res.Format != "CSV" {
+				continue
+			}
+			stats.Tables++
+			body, ok := c.download(res.URL)
+			if !ok {
+				continue
+			}
+			stats.Downloadable++
+
+			ft, wide := c.process(res.ID, res.Name, body)
+			if wide {
+				stats.TooWide++
+				continue
+			}
+			if ft == nil {
+				continue
+			}
+			stats.Readable++
+			ft.DatasetID = pkg.ID
+			ft.DatasetTitle = pkg.Title
+			ft.Published = published
+			ft.Table.DatasetID = pkg.ID
+			out = append(out, ft)
+		}
+	}
+	return out, stats, nil
+}
+
+// process runs sniffing, header inference and parsing over one
+// downloaded body. It returns (nil, true) for wide-table rejections and
+// (nil, false) for other unreadable resources.
+func (c *Client) process(resID, name string, body []byte) (*FetchedTable, bool) {
+	format := sniff.Detect(body)
+	if !format.IsTabular() {
+		return nil, false
+	}
+	opts := c.ReadOptions
+	if format == sniff.FormatTSV {
+		opts.Comma = '\t'
+	}
+	t, err := csvio.ReadWith(name, bytesReader(body), opts)
+	if err != nil {
+		if isWideError(err) {
+			return nil, true
+		}
+		return nil, false
+	}
+	if t.NumCols() == 0 || t.NumRows() == 0 {
+		return nil, false
+	}
+	return &FetchedTable{Resource: resID, Table: t, RawSize: int64(len(body))}, false
+}
+
+func isWideError(err error) bool {
+	for err != nil {
+		if err == csvio.ErrTooWide {
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func (c *Client) packageList() ([]string, error) {
+	var resp struct {
+		Success bool     `json:"success"`
+		Result  []string `json:"result"`
+	}
+	if err := c.getJSON(c.BaseURL+"/api/3/action/package_list", &resp); err != nil {
+		return nil, err
+	}
+	if !resp.Success {
+		return nil, fmt.Errorf("ckan: package_list unsuccessful")
+	}
+	return resp.Result, nil
+}
+
+func (c *Client) packageShow(id string) (*packageJSON, error) {
+	var resp struct {
+		Success bool        `json:"success"`
+		Result  packageJSON `json:"result"`
+	}
+	u := c.BaseURL + "/api/3/action/package_show?id=" + url.QueryEscape(id)
+	if err := c.getJSON(u, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.Success {
+		return nil, fmt.Errorf("ckan: package_show(%s) unsuccessful", id)
+	}
+	return &resp.Result, nil
+}
+
+// download fetches a resource URL; ok is true only for HTTP 200, the
+// paper's "downloadable" criterion.
+func (c *Client) download(resourceURL string) ([]byte, bool) {
+	u := resourceURL
+	if len(u) > 0 && u[0] == '/' {
+		u = c.BaseURL + u
+	}
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+func (c *Client) getJSON(u string, v interface{}) error {
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ckan: GET %s: status %d", u, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}

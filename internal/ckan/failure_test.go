@@ -1,0 +1,171 @@
+package ckan
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestClientServerErrors exercises the client against broken API
+// servers: the fetch pipeline must fail cleanly, never panic.
+func TestClientServerErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		handler http.HandlerFunc
+	}{
+		{"500 on package_list", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}},
+		{"invalid json", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("{not json"))
+		}},
+		{"html instead of json", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("<html><body>maintenance</body></html>"))
+		}},
+		{"success false", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"success": false, "error": "nope"}`))
+		}},
+		{"empty body", func(w http.ResponseWriter, r *http.Request) {}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			srv := httptest.NewServer(c.handler)
+			defer srv.Close()
+			client := NewClient(srv.URL)
+			_, _, err := client.FetchAll()
+			if err == nil {
+				t.Error("FetchAll should fail against a broken server")
+			}
+		})
+	}
+}
+
+// TestClientPackageShowFails covers a portal whose listing works but
+// whose package metadata endpoint is broken.
+func TestClientPackageShowFails(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/3/action/package_list", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"success": true, "result": ["ds-1"]}`))
+	})
+	mux.HandleFunc("/api/3/action/package_show", func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	if _, _, err := NewClient(srv.URL).FetchAll(); err == nil {
+		t.Error("expected error from broken package_show")
+	}
+}
+
+// TestClientDownloadFailuresAreSkipped covers per-resource failures:
+// the pipeline drops the resource and continues, as the paper's
+// funnel semantics require.
+func TestClientDownloadFailuresAreSkipped(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/3/action/package_list", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"success": true, "result": ["ds-1"]}`))
+	})
+	mux.HandleFunc("/api/3/action/package_show", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"success": true, "result": {"id": "ds-1", "title": "T",
+			"metadata_created": "2020-01-01T00:00:00",
+			"resources": [
+				{"id": "ok", "name": "ok.csv", "format": "CSV", "url": "/dl/ok"},
+				{"id": "gone", "name": "gone.csv", "format": "CSV", "url": "/dl/gone"},
+				{"id": "slowfail", "name": "s.csv", "format": "CSV", "url": "/dl/reset"}
+			]}}`))
+	})
+	mux.HandleFunc("/dl/ok", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("a,b\n1,2\n3,4\n"))
+	})
+	mux.HandleFunc("/dl/gone", func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	mux.HandleFunc("/dl/reset", func(w http.ResponseWriter, r *http.Request) {
+		// Advertise a body length then cut the connection short.
+		w.Header().Set("Content-Length", "1000")
+		w.Write([]byte("partial"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	tables, stats, err := NewClient(srv.URL).FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tables != 3 {
+		t.Errorf("tables = %d", stats.Tables)
+	}
+	if stats.Downloadable != 1 || stats.Readable != 1 {
+		t.Errorf("funnel = %+v, want only the good resource through", stats)
+	}
+	if len(tables) != 1 || tables[0].Table.NumRows() != 2 {
+		t.Errorf("fetched = %v", tables)
+	}
+}
+
+// TestClientRelativeAndAbsoluteURLs verifies both URL shapes download.
+func TestClientRelativeAndAbsoluteURLs(t *testing.T) {
+	var srvURL string
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/3/action/package_list", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"success": true, "result": ["ds-1"]}`))
+	})
+	mux.HandleFunc("/api/3/action/package_show", func(w http.ResponseWriter, r *http.Request) {
+		body := `{"success": true, "result": {"id": "ds-1", "title": "T",
+			"metadata_created": "2020-01-01T00:00:00",
+			"resources": [
+				{"id": "rel", "name": "rel.csv", "format": "CSV", "url": "/dl/a"},
+				{"id": "abs", "name": "abs.csv", "format": "CSV", "url": "` + srvURL + `/dl/a"}
+			]}}`
+		w.Write([]byte(body))
+	})
+	mux.HandleFunc("/dl/a", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("x,y\n1,2\n"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	srvURL = srv.URL
+
+	_, stats, err := NewClient(srv.URL).FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Downloadable != 2 || stats.Readable != 2 {
+		t.Errorf("funnel = %+v", stats)
+	}
+}
+
+// TestClientNonCSVFormatsIgnored verifies only advertised-CSV
+// resources enter the funnel.
+func TestClientNonCSVFormatsIgnored(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/3/action/package_list", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"success": true, "result": ["ds-1"]}`))
+	})
+	mux.HandleFunc("/api/3/action/package_show", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"success": true, "result": {"id": "ds-1", "title": "T",
+			"metadata_created": "2020-01-01T00:00:00",
+			"resources": [
+				{"id": "p", "name": "doc.pdf", "format": "PDF", "url": "/dl/p"},
+				{"id": "j", "name": "api.json", "format": "JSON", "url": "/dl/j"}
+			]}}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	_, stats, err := NewClient(srv.URL).FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tables != 0 {
+		t.Errorf("non-CSV resources entered the funnel: %+v", stats)
+	}
+	_ = strings.TrimSpace("")
+}

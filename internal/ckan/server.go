@@ -1,0 +1,123 @@
+package ckan
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Server exposes a Portal over the CKAN Action API v3 surface the
+// paper's pipeline uses:
+//
+//	GET /api/3/action/package_list          -> {"success": true, "result": [ids...]}
+//	GET /api/3/action/package_show?id=<id>  -> {"success": true, "result": {dataset}}
+//	GET /download/<resourceID>              -> raw resource body
+//
+// Deliberately broken resources behave accordingly: BrokenNotFound
+// URLs return 404, BrokenHTMLPage URLs return an HTML error page with
+// status 200, and so on, so that a client exercising the pipeline
+// observes the same downloadable/readable funnel as the paper.
+type Server struct {
+	portal *Portal
+	mux    *http.ServeMux
+}
+
+// NewServer creates a CKAN API server for the portal.
+func NewServer(p *Portal) *Server {
+	s := &Server{portal: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/3/action/package_list", s.packageList)
+	s.mux.HandleFunc("/api/3/action/package_show", s.packageShow)
+	s.mux.HandleFunc("/download/", s.download)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiResponse is the CKAN action API envelope.
+type apiResponse struct {
+	Success bool        `json:"success"`
+	Result  interface{} `json:"result,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// packageJSON mirrors the subset of CKAN package metadata the client
+// needs.
+type packageJSON struct {
+	ID        string         `json:"id"`
+	Title     string         `json:"title"`
+	Notes     string         `json:"notes"`
+	Created   string         `json:"metadata_created"`
+	Resources []resourceJSON `json:"resources"`
+}
+
+type resourceJSON struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Format string `json:"format"`
+	URL    string `json:"url"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) packageList(w http.ResponseWriter, r *http.Request) {
+	ids := make([]string, len(s.portal.Datasets))
+	for i, d := range s.portal.Datasets {
+		ids[i] = d.ID
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Success: true, Result: ids})
+}
+
+func (s *Server) packageShow(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	d := s.portal.Dataset(id)
+	if d == nil {
+		writeJSON(w, http.StatusNotFound, apiResponse{Success: false, Error: "Not found"})
+		return
+	}
+	pkg := packageJSON{
+		ID:      d.ID,
+		Title:   d.Title,
+		Notes:   d.Description,
+		Created: d.Published.Format("2006-01-02T15:04:05"),
+	}
+	for _, res := range d.Resources {
+		pkg.Resources = append(pkg.Resources, resourceJSON{
+			ID:     res.ID,
+			Name:   res.Name,
+			Format: res.Format,
+			URL:    res.URL,
+		})
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Success: true, Result: pkg})
+}
+
+func (s *Server) download(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/download/")
+	res := s.portal.Resource(id)
+	if res == nil {
+		http.NotFound(w, r)
+		return
+	}
+	switch res.Broken {
+	case BrokenNotFound:
+		http.NotFound(w, r)
+	case BrokenHTMLPage:
+		w.Header().Set("Content-Type", "text/html")
+		w.Write([]byte("<!DOCTYPE html><html><body><h1>Resource moved</h1><p>This dataset is no longer available at this address.</p></body></html>"))
+	case BrokenGarbage:
+		garbage := make([]byte, 512)
+		for i := range garbage {
+			garbage[i] = byte(i*7 + 3)
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(garbage)
+	default:
+		w.Header().Set("Content-Type", "text/csv")
+		w.Write(res.Body)
+	}
+}

@@ -1,0 +1,36 @@
+// Package classify reproduces the paper's §5.3 usefulness study: the
+// stratified sampling of joinable pairs (size buckets × key-combination
+// buckets, same-schema pairs removed), labeling through a ground-truth
+// oracle, the aggregation into Tables 7–10, and a signal-based
+// predictor built from the paper's observations.
+package classify
+
+// Label is the paper's three-way annotation of a joinable pair.
+type Label int
+
+// Labels from §5.3.2.
+const (
+	// LabelUnknown means the oracle could not decide; such pairs are
+	// excluded from the aggregates.
+	LabelUnknown Label = iota
+	// LabelUAcc: unrelated tables, accidental join (clear false
+	// positive across domains).
+	LabelUAcc
+	// LabelRAcc: related tables, but the join output has no clear
+	// interpretation.
+	LabelRAcc
+	// LabelUseful: the join output has a clear interpretation.
+	LabelUseful
+)
+
+var labelNames = [...]string{"unknown", "U-Acc", "R-Acc", "useful"}
+
+func (l Label) String() string {
+	if int(l) < len(labelNames) {
+		return labelNames[l]
+	}
+	return "invalid"
+}
+
+// Accidental reports whether the label is one of the accidental kinds.
+func (l Label) Accidental() bool { return l == LabelUAcc || l == LabelRAcc }

@@ -1,0 +1,109 @@
+package classify
+
+import (
+	"ogdp/internal/join"
+	"ogdp/internal/table"
+)
+
+// Predictor implements the filtering the paper's summary of §5.3
+// recommends for data integration systems: complement value overlap
+// with non-value signals — prefer intra-dataset pairs, joins involving
+// key columns, data types other than incremental integers, and small
+// join expansions.
+type Predictor struct {
+	// MaxExpansion rejects pairs whose join would grow beyond this
+	// ratio; the paper observes useful joins rarely exceed ~1.5.
+	// Defaults to 2.
+	MaxExpansion float64
+	// RequireSameDataset restricts predictions to intra-dataset pairs.
+	RequireSameDataset bool
+}
+
+// Predict reports whether the pair is likely a useful join.
+func (p Predictor) Predict(tables []*table.Table, pr join.Pair) bool {
+	maxExp := p.MaxExpansion
+	if maxExp == 0 {
+		maxExp = 2
+	}
+	if pr.Expansion > maxExp {
+		return false
+	}
+	t1 := tables[pr.T1]
+	t2 := tables[pr.T2]
+	sameDataset := t1.DatasetID != "" && t1.DatasetID == t2.DatasetID
+	if p.RequireSameDataset && !sameDataset {
+		return false
+	}
+	typ := JoinTypeGroup(t1.Profile(pr.C1).Type)
+	if typ == "incremental integer" {
+		return false
+	}
+	// At least one key column, or an intra-dataset pair on a
+	// non-incremental type.
+	if pr.Key1 || pr.Key2 {
+		return sameDataset || typ == "categorical" || typ == "timestamp" || typ == "geo-spatial"
+	}
+	return sameDataset && typ == "categorical"
+}
+
+// Evaluation summarizes a predictor against oracle labels.
+type Evaluation struct {
+	TP, FP, TN, FN int
+}
+
+// Precision of the useful class.
+func (e Evaluation) Precision() float64 {
+	if e.TP+e.FP == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FP)
+}
+
+// Recall of the useful class.
+func (e Evaluation) Recall() float64 {
+	if e.TP+e.FN == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FN)
+}
+
+// Evaluate scores the predictor on annotated samples.
+func (p Predictor) Evaluate(tables []*table.Table, samples []SampledPair) Evaluation {
+	var e Evaluation
+	for _, s := range samples {
+		pred := p.Predict(tables, s.Pair)
+		actual := s.Label == LabelUseful
+		switch {
+		case pred && actual:
+			e.TP++
+		case pred && !actual:
+			e.FP++
+		case !pred && actual:
+			e.FN++
+		default:
+			e.TN++
+		}
+	}
+	return e
+}
+
+// BaselineOverlapOnly is the paper's straw man: trust value overlap
+// alone and call every high-overlap pair useful.
+type BaselineOverlapOnly struct{}
+
+// Predict always returns true (every candidate pair already passed the
+// 0.9 overlap threshold).
+func (BaselineOverlapOnly) Predict([]*table.Table, join.Pair) bool { return true }
+
+// Evaluate scores the baseline on annotated samples.
+func (b BaselineOverlapOnly) Evaluate(tables []*table.Table, samples []SampledPair) Evaluation {
+	var e Evaluation
+	for _, s := range samples {
+		if s.Label == LabelUseful {
+			e.TP++
+		} else {
+			e.FP++
+		}
+	}
+	return e
+}

@@ -1,0 +1,74 @@
+package classify
+
+import (
+	"math/rand"
+
+	"ogdp/internal/union"
+)
+
+// SampledUnionPair is one annotated unionable pair (§6).
+type SampledUnionPair struct {
+	T1, T2        int
+	SingleDataset bool
+	Label         Label
+}
+
+// SampleUnionPairs reproduces the paper's union sampling: pick a
+// shared schema uniformly at random, then a pair of its tables
+// uniformly at random; n pairs total (the paper used 25 per portal).
+func SampleUnionPairs(a *union.Analysis, oracle UnionOracle, n int, rng *rand.Rand) []SampledUnionPair {
+	if len(a.Groups) == 0 || n <= 0 {
+		return nil
+	}
+	used := map[[2]int]bool{}
+	var out []SampledUnionPair
+	for attempt := 0; attempt < n*50 && len(out) < n; attempt++ {
+		g := a.Groups[rng.Intn(len(a.Groups))]
+		i := rng.Intn(len(g.Tables))
+		j := rng.Intn(len(g.Tables))
+		if i == j {
+			continue
+		}
+		t1, t2 := g.Tables[i], g.Tables[j]
+		if t2 < t1 {
+			t1, t2 = t2, t1
+		}
+		if used[[2]int{t1, t2}] {
+			continue
+		}
+		used[[2]int{t1, t2}] = true
+		sp := SampledUnionPair{
+			T1: t1, T2: t2,
+			SingleDataset: a.Tables[t1].DatasetID == a.Tables[t2].DatasetID,
+		}
+		if oracle != nil {
+			sp.Label = oracle.LabelUnion(t1, t2)
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// UnionLabelDist aggregates union sample labels.
+func UnionLabelDist(samples []SampledUnionPair) LabelDist {
+	d := LabelDist{Group: "union"}
+	for _, s := range samples {
+		switch s.Label {
+		case LabelUAcc:
+			d.UAcc++
+		case LabelRAcc:
+			d.RAcc++
+		case LabelUseful:
+			d.Useful++
+		default:
+			continue
+		}
+		d.N++
+	}
+	if d.N > 0 {
+		d.UAcc /= float64(d.N)
+		d.RAcc /= float64(d.N)
+		d.Useful /= float64(d.N)
+	}
+	return d
+}

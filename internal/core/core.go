@@ -1,0 +1,542 @@
+// Package core orchestrates the full OGDP study: it generates (or
+// accepts) a corpus per portal and runs every analysis of the paper —
+// acquisition funnel, size/null/metadata profiling, uniqueness and
+// candidate keys, FD discovery and BCNF decomposition, joinability
+// with expansion ratios, stratified usefulness labeling, and
+// unionability — producing one result struct per table/figure of the
+// evaluation.
+package core
+
+import (
+	"math/rand"
+	"net/http/httptest"
+
+	"ogdp/internal/ckan"
+	"ogdp/internal/classify"
+	"ogdp/internal/fd"
+	"ogdp/internal/gen"
+	"ogdp/internal/ind"
+	"ogdp/internal/join"
+	"ogdp/internal/keys"
+	"ogdp/internal/normalize"
+	"ogdp/internal/profile"
+	"ogdp/internal/stats"
+	"ogdp/internal/table"
+	"ogdp/internal/union"
+)
+
+// Options configures a study run.
+type Options struct {
+	// Scale multiplies the calibrated corpus sizes (1.0 = full
+	// calibrated size). Defaults to 1.0.
+	Scale float64
+	// Seed drives all randomness. Defaults to 1.
+	Seed int64
+	// FetchFunnel, when true, serializes the corpus into a CKAN portal,
+	// serves it over HTTP, and measures the downloadable/readable
+	// funnel with the real client (Table 1). Costs time and memory.
+	FetchFunnel bool
+	// Compress, when true, measures gzip-compressed portal sizes
+	// (Table 1).
+	Compress bool
+	// MaxFDTables caps how many tables enter the FD/BCNF analysis
+	// (0 = the full eligible subset, the paper's setting).
+	MaxFDTables int
+	// SamplePerCell is the per-(bucket × key combo) quota of the
+	// labeling sample; 0 uses the paper's ~17.
+	SamplePerCell int
+	// UnionSamples is the number of union pairs labeled per portal;
+	// 0 uses the paper's 25.
+	UnionSamples int
+	// Sensitivity, when true, repeats the joinability analysis at the
+	// paper's supplementary Jaccard threshold of 0.7 to verify the
+	// expansion-ratio picture is not an artifact of the 0.9 cut.
+	Sensitivity bool
+	// Extensions, when true, additionally runs the beyond-the-paper
+	// analyses: inclusion-dependency (foreign key) discovery, fuzzy
+	// unionability gain, and FD plausibility scoring.
+	Extensions bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.UnionSamples == 0 {
+		o.UnionSamples = 25
+	}
+	return o
+}
+
+// FDStats is Table 5 for one portal.
+type FDStats struct {
+	Tables          int
+	Columns         int
+	AvgCols         float64
+	WithFD          int
+	WithFDPct       float64
+	WithSimpleFD    int
+	WithSimpleFDPct float64
+	// AvgDecomposed is the mean number of sub-tables produced by BCNF
+	// decomposition of tables that were not in BCNF.
+	AvgDecomposed float64
+	// AvgPartitionCols is the mean column count of the decomposition's
+	// sub-tables.
+	AvgPartitionCols float64
+	// AvgUniquenessGain is the mean ratio of uniqueness scores for
+	// unrepeated columns after vs before decomposition.
+	AvgUniquenessGain float64
+	// DecompositionDist[k] counts tables decomposed into k sub-tables
+	// (k = 1 means the table was already in BCNF). (Figure 7)
+	DecompositionDist map[int]int
+}
+
+// JoinStats is Table 6 for one portal.
+type JoinStats struct {
+	Pairs             int
+	Tables            int
+	JoinableTables    int
+	JoinableTablesPct float64
+	MedianTableDegree float64
+	MaxTableDegree    int
+	Columns           int
+	JoinableCols      int
+	JoinableColsPct   float64
+	KeyJoinable       int
+	KeyJoinablePct    float64
+	NonkeyJoinable    int
+	NonkeyJoinablePct float64
+	MedianColDegree   float64
+	MaxColDegree      int
+	// Expansions holds every pair's expansion ratio (Figure 8).
+	Expansions []float64
+	// ExpansionLV is the letter-value summary of Figure 8.
+	ExpansionLV stats.LetterValues
+}
+
+// UnionStats is Table 11 for one portal.
+type UnionStats struct {
+	Tables              int
+	UnionableTables     int
+	UnionableTablesPct  float64
+	MedianDegree        float64
+	MaxDegree           int
+	UniqueSchemas       int
+	AvgTablesPerSchema  float64
+	UnionableSchemas    int
+	UnionableSchemasPct float64
+	SingleDatasetGroups int
+	SingleDatasetPct    float64
+}
+
+// ExtensionStats holds the beyond-the-paper analyses of one portal.
+type ExtensionStats struct {
+	// INDs is the number of exact unary inclusion dependencies.
+	INDs int
+	// ForeignKeyCandidates is the number of key-referencing INDs whose
+	// dependent is a non-key column.
+	ForeignKeyCandidates int
+	// PlantedFKRecovered is the fraction of fk candidates matching a
+	// generator-planted entity relationship.
+	PlantedFKRecovered float64
+	// FuzzyUnionTables counts tables connected by approximate schema
+	// matching; ExactUnionTables the paper's exact-identity count.
+	FuzzyUnionTables int
+	ExactUnionTables int
+	// MeanFDPlausibility averages the plausibility score over a sample
+	// of discovered FDs.
+	MeanFDPlausibility float64
+}
+
+// LabelResults aggregates the §5.3 usefulness study for one portal.
+type LabelResults struct {
+	Samples  int
+	Overall  classify.LabelDist    // Table 7
+	Locality [2]classify.LabelDist // Table 8: inter, intra
+	Combos   [3]classify.LabelDist // Table 9
+	Types    []classify.LabelDist  // Table 10
+	Buckets  [3]classify.LabelDist // supplementary size analysis
+	// Predictor and Baseline evaluate the paper-recommended filters
+	// against overlap-only suggestions on the same sample.
+	Predictor classify.Evaluation
+	Baseline  classify.Evaluation
+}
+
+// PortalResult bundles every experiment for one portal.
+type PortalResult struct {
+	Portal string
+	Corpus *gen.Corpus
+
+	Sizes           profile.PortalSizes      // Table 1
+	SizePercentiles []profile.SizePercentile // Figure 1
+	Growth          []profile.GrowthPoint    // Figure 2
+	TableSizes      profile.TableSizeStats   // Table 2
+	ColsHist        []stats.Bucket           // Figure 3 (columns)
+	RowsHist        []stats.Bucket           // Figure 3 (rows)
+	Nulls           profile.NullStats        // Figure 4
+	Metadata        profile.MetadataStats    // Table 3
+	Uniqueness      map[string]profile.UniquenessStats
+
+	KeySizeDist []int // Figure 6: index 0 = no key ≤ 3, else min key size
+
+	FD FDStats // Table 5 + Figure 7
+
+	Join JoinStats // Table 6 + Figure 8
+	// JoinAt07 repeats Table 6/Figure 8 at Jaccard ≥ 0.7 (the paper's
+	// supplementary sensitivity check); nil unless Options.Sensitivity.
+	JoinAt07 *JoinStats
+	Labels   LabelResults // Tables 7–10
+
+	Union       UnionStats         // Table 11
+	UnionLabels classify.LabelDist // §6 labeling
+
+	// Ext holds the beyond-the-paper analyses; nil unless
+	// Options.Extensions.
+	Ext *ExtensionStats
+}
+
+// StudyResult is the full four-portal study.
+type StudyResult struct {
+	Options Options
+	Portals []PortalResult
+}
+
+// Run executes the study for the given portal profiles (use
+// gen.Profiles() for the paper's four).
+func Run(profiles []gen.PortalProfile, opts Options) *StudyResult {
+	opts = opts.withDefaults()
+	res := &StudyResult{Options: opts}
+	for i, prof := range profiles {
+		corpus := gen.Generate(prof, opts.Scale, opts.Seed+int64(i))
+		res.Portals = append(res.Portals, RunPortal(corpus, opts))
+	}
+	return res
+}
+
+// RunPortal executes every analysis over one corpus.
+func RunPortal(corpus *gen.Corpus, opts Options) PortalResult {
+	opts = opts.withDefaults()
+	pr := PortalResult{Portal: corpus.PortalName, Corpus: corpus}
+	rng := rand.New(rand.NewSource(opts.Seed * 7919))
+
+	// ---- profiling (§3) ----
+	pc := profileCorpus(corpus)
+	if opts.FetchFunnel {
+		pc.Funnel = measureFunnel(corpus, opts.Seed)
+	}
+	pr.Sizes = profile.Sizes(pc, opts.Compress)
+	pr.SizePercentiles = profile.SizePercentiles(pc, []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	pr.Growth = profile.Growth(pc)
+	pr.TableSizes = profile.TableSizes(pc)
+	pr.ColsHist, pr.RowsHist = sizeHistograms(corpus)
+	pr.Nulls = profile.Nulls(pc)
+	pr.Metadata = profile.Metadata(pc, 100)
+	pr.Uniqueness = profile.Uniqueness(pc)
+
+	// ---- keys and FDs (§4) ----
+	fdTables := fdSubset(corpus, opts.MaxFDTables)
+	pr.KeySizeDist = keys.SizeDistribution(fdTables, keys.MaxCandidateKeySize)
+	pr.FD = fdAnalysis(fdTables, rng)
+
+	// ---- joinability (§5) ----
+	tables := corpus.Tables()
+	ja := join.Find(tables, join.Options{})
+	pr.Join = joinStats(tables, ja)
+
+	if opts.Sensitivity {
+		ja07 := join.Find(tables, join.Options{MinJaccard: 0.7})
+		st := joinStats(tables, ja07)
+		pr.JoinAt07 = &st
+	}
+
+	oracle := gen.Truth(corpus)
+	samples := classify.SampleJoinPairs(tables, ja.Pairs, oracle,
+		classify.SampleOptions{PerCell: opts.SamplePerCell}, rng)
+	pr.Labels = labelResults(tables, samples)
+
+	// ---- unionability (§6) ----
+	ua := union.Find(tables)
+	pr.Union = unionStats(corpus, ua)
+	unionSamples := classify.SampleUnionPairs(ua, oracle, opts.UnionSamples, rng)
+	pr.UnionLabels = classify.UnionLabelDist(unionSamples)
+
+	if opts.Extensions {
+		ext := extensionStats(corpus, tables, fdTables, rng)
+		ext.ExactUnionTables = pr.Union.UnionableTables
+		pr.Ext = &ext
+	}
+
+	return pr
+}
+
+// extensionStats runs the beyond-the-paper analyses.
+func extensionStats(corpus *gen.Corpus, tables []*table.Table, fdTables []*table.Table, rng *rand.Rand) ExtensionStats {
+	var ext ExtensionStats
+
+	inds := ind.Find(tables, ind.Options{})
+	ext.INDs = len(inds)
+	fks := ind.ForeignKeyCandidates(tables, inds)
+	ext.ForeignKeyCandidates = len(fks)
+	planted := 0
+	for _, d := range fks {
+		m1 := corpus.Metas[d.DepTable]
+		m2 := corpus.Metas[d.RefTable]
+		if m1.Cols[d.DepCol].Role == gen.RoleForeignKey && m2.Cols[d.RefCol].Role == gen.RoleEntityKey &&
+			m1.Cols[d.DepCol].Pool == m2.Cols[d.RefCol].Pool {
+			planted++
+		}
+	}
+	if len(fks) > 0 {
+		ext.PlantedFKRecovered = float64(planted) / float64(len(fks))
+	}
+
+	inFuzzy := map[int]struct{}{}
+	for _, p := range union.FindFuzzy(tables, union.FuzzyOptions{}) {
+		inFuzzy[p.T1] = struct{}{}
+		inFuzzy[p.T2] = struct{}{}
+	}
+	ext.FuzzyUnionTables = len(inFuzzy)
+
+	// FD plausibility over a bounded sample of the FD subset.
+	var sum float64
+	n := 0
+	for _, t := range fdTables {
+		if n >= 200 {
+			break
+		}
+		for _, f := range fd.Discover(t, fd.MaxLHS) {
+			sum += fd.Plausibility(t, f)
+			n++
+			if n >= 200 {
+				break
+			}
+		}
+	}
+	if n > 0 {
+		ext.MeanFDPlausibility = sum / float64(n)
+	}
+	return ext
+}
+
+func profileCorpus(c *gen.Corpus) *profile.Corpus {
+	pc := &profile.Corpus{Portal: c.PortalName}
+	for _, m := range c.Metas {
+		meta := 0
+		for _, d := range c.Datasets {
+			if d.ID == m.Dataset {
+				meta = d.Metadata
+				break
+			}
+		}
+		pc.Tables = append(pc.Tables, profile.TableInfo{
+			Table:     m.Table,
+			DatasetID: m.Dataset,
+			Published: m.Published,
+			RawSize:   m.RawSize,
+			Metadata:  meta,
+		})
+	}
+	return pc
+}
+
+// measureFunnel serves the corpus through a CKAN API server and runs
+// the acquisition pipeline against it.
+func measureFunnel(corpus *gen.Corpus, seed int64) profile.FunnelCounts {
+	portal := gen.BuildPortal(corpus, seed)
+	srv := httptest.NewServer(ckan.NewServer(portal))
+	defer srv.Close()
+	client := ckan.NewClient(srv.URL)
+	_, st, err := client.FetchAll()
+	if err != nil {
+		return profile.FunnelCounts{}
+	}
+	return profile.FunnelCounts{
+		Datasets:     st.Datasets,
+		Tables:       st.Tables,
+		Downloadable: st.Downloadable,
+		Readable:     st.Readable,
+	}
+}
+
+func sizeHistograms(c *gen.Corpus) (cols, rows []stats.Bucket) {
+	var colCounts, rowCounts []float64
+	for _, m := range c.Metas {
+		colCounts = append(colCounts, float64(m.Table.NumCols()))
+		rowCounts = append(rowCounts, float64(m.Table.NumRows()))
+	}
+	cols = stats.Histogram(colCounts, []float64{0, 5, 10, 20, 50, 100})
+	rows = stats.Histogram(rowCounts, []float64{0, 10, 100, 1000, 10000, 100000, 1e9})
+	return cols, rows
+}
+
+// fdSubset selects the paper's FD-analysis subset: 10 ≤ rows ≤ 10000
+// and 5 ≤ cols ≤ 20.
+func fdSubset(c *gen.Corpus, max int) []*table.Table {
+	var out []*table.Table
+	for _, m := range c.Metas {
+		t := m.Table
+		if t.NumRows() < 10 || t.NumRows() > 10000 {
+			continue
+		}
+		if t.NumCols() < 5 || t.NumCols() > 20 {
+			continue
+		}
+		out = append(out, t)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+func fdAnalysis(tables []*table.Table, rng *rand.Rand) FDStats {
+	st := FDStats{DecompositionDist: map[int]int{}}
+	var cols float64
+	var decomposed, partCols, gains []float64
+	for _, t := range tables {
+		st.Tables++
+		st.Columns += t.NumCols()
+		cols += float64(t.NumCols())
+		fds := fd.Discover(t, fd.MaxLHS)
+		if len(fds) == 0 {
+			st.DecompositionDist[1]++
+			continue
+		}
+		st.WithFD++
+		if len(fd.SimpleFDs(fds)) > 0 {
+			st.WithSimpleFD++
+		}
+		res := normalize.Decompose(t, fd.MaxLHS, rng)
+		st.DecompositionDist[len(res.Tables)]++
+		if !res.InBCNF() {
+			decomposed = append(decomposed, float64(len(res.Tables)))
+			for _, sub := range res.Tables {
+				partCols = append(partCols, float64(sub.NumCols()))
+			}
+			gains = append(gains, res.UniquenessGain())
+		}
+	}
+	if st.Tables > 0 {
+		st.AvgCols = cols / float64(st.Tables)
+		st.WithFDPct = float64(st.WithFD) / float64(st.Tables)
+		st.WithSimpleFDPct = float64(st.WithSimpleFD) / float64(st.Tables)
+	}
+	st.AvgDecomposed = stats.Mean(decomposed)
+	st.AvgPartitionCols = stats.Mean(partCols)
+	st.AvgUniquenessGain = stats.Mean(gains)
+	return st
+}
+
+func joinStats(tables []*table.Table, ja *join.Analysis) JoinStats {
+	st := JoinStats{Tables: len(tables), Pairs: len(ja.Pairs)}
+	for _, t := range tables {
+		st.Columns += t.NumCols()
+	}
+	tableNbrs := map[int]map[int]struct{}{}
+	type colKey struct{ t, c int }
+	colNbrs := map[colKey]map[colKey]struct{}{}
+	colKeyness := map[colKey]bool{}
+	for _, p := range ja.Pairs {
+		addNbr(tableNbrs, p.T1, p.T2)
+		addNbr(tableNbrs, p.T2, p.T1)
+		a, b := colKey{p.T1, p.C1}, colKey{p.T2, p.C2}
+		if colNbrs[a] == nil {
+			colNbrs[a] = map[colKey]struct{}{}
+		}
+		colNbrs[a][b] = struct{}{}
+		if colNbrs[b] == nil {
+			colNbrs[b] = map[colKey]struct{}{}
+		}
+		colNbrs[b][a] = struct{}{}
+		colKeyness[a] = p.Key1
+		colKeyness[b] = p.Key2
+		st.Expansions = append(st.Expansions, p.Expansion)
+	}
+	st.JoinableTables = len(tableNbrs)
+	if st.Tables > 0 {
+		st.JoinableTablesPct = float64(st.JoinableTables) / float64(st.Tables)
+	}
+	var tdeg []float64
+	for _, n := range tableNbrs {
+		tdeg = append(tdeg, float64(len(n)))
+		if len(n) > st.MaxTableDegree {
+			st.MaxTableDegree = len(n)
+		}
+	}
+	st.MedianTableDegree = stats.Median(tdeg)
+	st.JoinableCols = len(colNbrs)
+	if st.Columns > 0 {
+		st.JoinableColsPct = float64(st.JoinableCols) / float64(st.Columns)
+	}
+	var cdeg []float64
+	for k, n := range colNbrs {
+		cdeg = append(cdeg, float64(len(n)))
+		if len(n) > st.MaxColDegree {
+			st.MaxColDegree = len(n)
+		}
+		if colKeyness[k] {
+			st.KeyJoinable++
+		} else {
+			st.NonkeyJoinable++
+		}
+	}
+	st.MedianColDegree = stats.Median(cdeg)
+	if st.JoinableCols > 0 {
+		st.KeyJoinablePct = float64(st.KeyJoinable) / float64(st.JoinableCols)
+		st.NonkeyJoinablePct = float64(st.NonkeyJoinable) / float64(st.JoinableCols)
+	}
+	st.ExpansionLV = stats.LetterValueSummary(st.Expansions, 5)
+	return st
+}
+
+func addNbr(m map[int]map[int]struct{}, a, b int) {
+	if m[a] == nil {
+		m[a] = map[int]struct{}{}
+	}
+	m[a][b] = struct{}{}
+}
+
+func labelResults(tables []*table.Table, samples []classify.SampledPair) LabelResults {
+	lr := LabelResults{
+		Samples:  len(samples),
+		Overall:  classify.Overall(samples),
+		Locality: classify.ByDatasetLocality(samples),
+		Combos:   classify.ByKeyCombo(samples),
+		Types:    classify.ByTypeGroup(samples),
+		Buckets:  classify.BySizeBucket(samples),
+	}
+	lr.Predictor = classify.Predictor{}.Evaluate(tables, samples)
+	lr.Baseline = classify.BaselineOverlapOnly{}.Evaluate(tables, samples)
+	return lr
+}
+
+func unionStats(corpus *gen.Corpus, ua *union.Analysis) UnionStats {
+	st := UnionStats{
+		Tables:              len(corpus.Metas),
+		UnionableTables:     ua.UnionableTables(),
+		UniqueSchemas:       ua.UniqueSchemas,
+		UnionableSchemas:    len(ua.Groups),
+		SingleDatasetGroups: ua.SingleDatasetGroups(),
+	}
+	if st.Tables > 0 {
+		st.UnionableTablesPct = float64(st.UnionableTables) / float64(st.Tables)
+	}
+	if st.UniqueSchemas > 0 {
+		st.AvgTablesPerSchema = float64(st.Tables) / float64(st.UniqueSchemas)
+		st.UnionableSchemasPct = float64(st.UnionableSchemas) / float64(st.UniqueSchemas)
+	}
+	if st.UnionableSchemas > 0 {
+		st.SingleDatasetPct = float64(st.SingleDatasetGroups) / float64(st.UnionableSchemas)
+	}
+	degs := ua.Degrees()
+	st.MedianDegree = stats.MedianInts(degs)
+	for _, d := range degs {
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+	}
+	return st
+}

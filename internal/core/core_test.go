@@ -1,0 +1,332 @@
+package core
+
+import (
+	"testing"
+
+	"ogdp/internal/gen"
+)
+
+// studyOpts keeps tests fast: small corpora, capped FD analysis.
+var studyOpts = Options{
+	Scale:         0.2,
+	Seed:          11,
+	FetchFunnel:   true,
+	Compress:      true,
+	MaxFDTables:   80,
+	SamplePerCell: 8,
+	UnionSamples:  20,
+}
+
+// runOnce caches one full study across tests.
+var cached *StudyResult
+
+func study(t *testing.T) *StudyResult {
+	t.Helper()
+	if cached == nil {
+		cached = Run(gen.Profiles(), studyOpts)
+	}
+	return cached
+}
+
+func portal(t *testing.T, name string) PortalResult {
+	for _, p := range study(t).Portals {
+		if p.Portal == name {
+			return p
+		}
+	}
+	t.Fatalf("portal %s missing", name)
+	return PortalResult{}
+}
+
+func TestRunProducesAllPortals(t *testing.T) {
+	res := study(t)
+	if len(res.Portals) != 4 {
+		t.Fatalf("portals = %d", len(res.Portals))
+	}
+	names := []string{"SG", "CA", "UK", "US"}
+	for i, p := range res.Portals {
+		if p.Portal != names[i] {
+			t.Errorf("portal %d = %s, want %s", i, p.Portal, names[i])
+		}
+	}
+}
+
+func TestFunnelShape(t *testing.T) {
+	// Table 1: CA/UK/US have far fewer downloadable than advertised
+	// tables; SG downloads almost everything.
+	sg := portal(t, "SG").Sizes
+	ca := portal(t, "CA").Sizes
+	if sg.Tables == 0 || ca.Tables == 0 {
+		t.Fatal("funnel not measured")
+	}
+	sgRate := float64(sg.Downloadable) / float64(sg.Tables)
+	caRate := float64(ca.Downloadable) / float64(ca.Tables)
+	if sgRate < 0.9 {
+		t.Errorf("SG downloadable rate = %.2f, want ~0.99", sgRate)
+	}
+	if caRate > 0.7 {
+		t.Errorf("CA downloadable rate = %.2f, want ~0.41", caRate)
+	}
+	if ca.Readable > ca.Downloadable || ca.Downloadable > ca.Tables {
+		t.Errorf("funnel not monotone: %+v", ca)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	// §3.1: ~1:5 average compression.
+	for _, p := range study(t).Portals {
+		if p.Sizes.CompressedBytes == 0 {
+			t.Fatalf("%s: no compression measured", p.Portal)
+		}
+		ratio := float64(p.Sizes.TotalBytes) / float64(p.Sizes.CompressedBytes)
+		if ratio < 2 || ratio > 30 {
+			t.Errorf("%s: compression ratio %.1f outside plausible band", p.Portal, ratio)
+		}
+	}
+}
+
+func TestTableSizeShape(t *testing.T) {
+	// Table 2: medians are far below averages (skew), and US rows
+	// median is the largest.
+	us := portal(t, "US").TableSizes
+	sg := portal(t, "SG").TableSizes
+	if us.AvgRows <= us.MedianRows {
+		t.Errorf("US rows: avg %.0f should exceed median %.0f (skew)", us.AvgRows, us.MedianRows)
+	}
+	if us.MedianRows <= sg.MedianRows {
+		t.Errorf("US median rows (%.0f) should exceed SG (%.0f)", us.MedianRows, sg.MedianRows)
+	}
+	if sg.MedianCols > 7 {
+		t.Errorf("SG median cols = %.0f, want small (~4-5)", sg.MedianCols)
+	}
+}
+
+func TestNullShape(t *testing.T) {
+	// Figure 4: SG nearly null-free; others ~half of columns have nulls.
+	sg := portal(t, "SG").Nulls
+	ca := portal(t, "CA").Nulls
+	if sg.FracColsWithNulls > 0.2 {
+		t.Errorf("SG null columns = %.2f", sg.FracColsWithNulls)
+	}
+	if ca.FracColsWithNulls < 0.3 {
+		t.Errorf("CA null columns = %.2f, want ~0.5", ca.FracColsWithNulls)
+	}
+	if ca.FracColsAllNull == 0 {
+		t.Error("CA should have entirely-null columns")
+	}
+}
+
+func TestMetadataShape(t *testing.T) {
+	sg := portal(t, "SG").Metadata
+	us := portal(t, "US").Metadata
+	if sg.Structured < 0.99 {
+		t.Errorf("SG structured metadata = %.2f, want 1.0", sg.Structured)
+	}
+	if us.Structured > 0.01 {
+		t.Errorf("US structured metadata = %.2f, want 0", us.Structured)
+	}
+	if us.Lacking < 0.5 {
+		t.Errorf("US lacking metadata = %.2f, want ~0.73", us.Lacking)
+	}
+}
+
+func TestUniquenessShape(t *testing.T) {
+	// Table 4: text columns repeat much more than numeric columns.
+	for _, p := range study(t).Portals {
+		txt := p.Uniqueness["text"]
+		num := p.Uniqueness["number"]
+		if txt.Columns == 0 || num.Columns == 0 {
+			t.Fatalf("%s: missing class stats", p.Portal)
+		}
+		if txt.MedianUniqueness >= num.MedianUniqueness {
+			t.Errorf("%s: text median uniqueness (%.2f) should be below numeric (%.2f)",
+				p.Portal, txt.MedianUniqueness, num.MedianUniqueness)
+		}
+	}
+}
+
+func TestKeyDistShape(t *testing.T) {
+	// Figure 6: a large fraction of tables lack a single-column key.
+	for _, p := range study(t).Portals {
+		dist := p.KeySizeDist
+		total := 0
+		for _, n := range dist {
+			total += n
+		}
+		if total == 0 {
+			t.Fatalf("%s: empty key distribution", p.Portal)
+		}
+		if total < 20 {
+			continue // too few subset tables at test scale for a stable fraction
+		}
+		noSingle := float64(total-dist[1]) / float64(total)
+		if noSingle < 0.02 || noSingle > 0.95 {
+			t.Errorf("%s: no-single-key fraction %.2f implausible", p.Portal, noSingle)
+		}
+	}
+}
+
+func TestFDShape(t *testing.T) {
+	// Table 5: the majority of tables have a non-trivial FD, and
+	// decomposition yields > 2 sub-tables on average with uniqueness
+	// gains > 1.
+	for _, p := range study(t).Portals {
+		if p.FD.Tables == 0 {
+			t.Fatalf("%s: no FD subset", p.Portal)
+		}
+		if p.FD.WithFDPct < 0.4 {
+			t.Errorf("%s: FD prevalence %.2f, want majority", p.Portal, p.FD.WithFDPct)
+		}
+		if p.FD.WithSimpleFDPct > p.FD.WithFDPct {
+			t.Errorf("%s: simple-FD pct exceeds FD pct", p.Portal)
+		}
+		if p.FD.AvgDecomposed < 1.5 {
+			t.Errorf("%s: avg decomposed %.2f, want > 1.5", p.Portal, p.FD.AvgDecomposed)
+		}
+		if p.FD.AvgUniquenessGain <= 1 {
+			t.Errorf("%s: uniqueness gain %.2f, want > 1", p.Portal, p.FD.AvgUniquenessGain)
+		}
+	}
+}
+
+func TestJoinShape(t *testing.T) {
+	// Table 6: joinable columns are mostly non-key; a large fraction of
+	// tables is joinable.
+	for _, p := range study(t).Portals {
+		j := p.Join
+		if j.Pairs == 0 {
+			t.Fatalf("%s: no joinable pairs", p.Portal)
+		}
+		if j.JoinableTablesPct < 0.25 || j.JoinableTablesPct > 0.9 {
+			t.Errorf("%s: joinable tables %.2f outside band", p.Portal, j.JoinableTablesPct)
+		}
+		if j.NonkeyJoinablePct < 0.45 {
+			t.Errorf("%s: non-key joinable fraction %.2f, want majority", p.Portal, j.NonkeyJoinablePct)
+		}
+		if j.KeyJoinable+j.NonkeyJoinable != j.JoinableCols {
+			t.Errorf("%s: key/nonkey split inconsistent", p.Portal)
+		}
+	}
+}
+
+func TestExpansionShape(t *testing.T) {
+	// Figure 8: the US median expansion dwarfs CA's and UK's.
+	us := portal(t, "US").Join.ExpansionLV.Median
+	ca := portal(t, "CA").Join.ExpansionLV.Median
+	uk := portal(t, "UK").Join.ExpansionLV.Median
+	if us < 2*ca || us < 2*uk {
+		t.Errorf("US expansion median %.1f should dwarf CA %.1f and UK %.1f", us, ca, uk)
+	}
+	if ca > 8 || uk > 8 {
+		t.Errorf("CA/UK expansion medians should be small: %.1f %.1f", ca, uk)
+	}
+}
+
+func TestLabelShape(t *testing.T) {
+	// Tables 7–9 on CA/UK/US (the paper drops SG): accidental pairs
+	// dominate; intra-dataset useful rate exceeds inter; nonkey-nonkey
+	// is the most accidental combo.
+	for _, name := range []string{"CA", "UK", "US"} {
+		p := portal(t, name)
+		l := p.Labels
+		if l.Samples < 12 {
+			t.Fatalf("%s: only %d samples", name, l.Samples)
+		}
+		if l.Overall.Accidental() < 0.6 {
+			t.Errorf("%s: accidental rate %.2f, want overwhelming majority", name, l.Overall.Accidental())
+		}
+		inter, intra := l.Locality[0], l.Locality[1]
+		if intra.N > 3 && inter.N > 3 && intra.Useful < inter.Useful {
+			t.Errorf("%s: intra useful (%.2f) below inter (%.2f)", name, intra.Useful, inter.Useful)
+		}
+		kk, nn := l.Combos[0], l.Combos[2]
+		if kk.N > 3 && nn.N > 3 && kk.Useful < nn.Useful {
+			t.Errorf("%s: key-key useful (%.2f) below nonkey-nonkey (%.2f)", name, kk.Useful, nn.Useful)
+		}
+		// Inter-dataset pairs can never contain U-Acc == 0 while intra has none.
+		if intra.N > 0 && intra.UAcc > 0 {
+			t.Errorf("%s: intra-dataset pairs cannot be unrelated (U-Acc %.2f)", name, intra.UAcc)
+		}
+	}
+}
+
+func TestTypeGroupShape(t *testing.T) {
+	// Table 10: incremental integer joins are (almost) never useful.
+	for _, name := range []string{"CA", "UK", "US"} {
+		p := portal(t, name)
+		for _, d := range p.Labels.Types {
+			if d.Group == "incremental integer" && d.N >= 5 && d.Useful > 0.25 {
+				t.Errorf("%s: incremental integer useful rate %.2f, want ~0", name, d.Useful)
+			}
+		}
+	}
+}
+
+func TestPredictorBeatsBaseline(t *testing.T) {
+	// The paper's recommended signals must filter better than raw value
+	// overlap: higher precision on the useful class.
+	for _, name := range []string{"CA", "UK", "US"} {
+		l := portal(t, name).Labels
+		if l.Predictor.TP+l.Predictor.FP == 0 {
+			continue // predictor too conservative on this sample
+		}
+		if l.Predictor.Precision() <= l.Baseline.Precision() {
+			t.Errorf("%s: predictor precision %.2f not above baseline %.2f",
+				name, l.Predictor.Precision(), l.Baseline.Precision())
+		}
+	}
+}
+
+func TestUnionShape(t *testing.T) {
+	// Table 11: the majority of tables are unionable; union labels are
+	// overwhelmingly useful.
+	for _, p := range study(t).Portals {
+		u := p.Union
+		if u.UnionableTablesPct < 0.3 || u.UnionableTablesPct > 0.95 {
+			t.Errorf("%s: unionable fraction %.2f outside band", p.Portal, u.UnionableTablesPct)
+		}
+		if u.UnionableSchemas == 0 || u.UniqueSchemas == 0 {
+			t.Errorf("%s: schema counts missing", p.Portal)
+		}
+		// SG's standardized schemas make a large share of its union
+		// pairs accidental (§6); elsewhere useful unions dominate.
+		minUseful := 0.5
+		if p.Portal == "SG" {
+			minUseful = 0.1
+		}
+		if p.UnionLabels.N > 5 && p.UnionLabels.Useful < minUseful {
+			t.Errorf("%s: union useful rate %.2f, want ≥ %.2f", p.Portal, p.UnionLabels.Useful, minUseful)
+		}
+	}
+}
+
+func TestGrowthMonotone(t *testing.T) {
+	uk := portal(t, "UK")
+	if len(uk.Growth) < 3 {
+		t.Fatalf("UK growth has %d points", len(uk.Growth))
+	}
+	for i := 1; i < len(uk.Growth); i++ {
+		if uk.Growth[i].Cumulative < uk.Growth[i-1].Cumulative {
+			t.Error("growth must be cumulative")
+		}
+	}
+}
+
+func TestSizePercentilesShape(t *testing.T) {
+	for _, p := range study(t).Portals {
+		pts := p.SizePercentiles
+		if len(pts) != 10 {
+			t.Fatalf("%s: %d percentile points", p.Portal, len(pts))
+		}
+		// The top decile must hold a disproportionate share (skew).
+		p90 := pts[8].Cumulative
+		p100 := pts[9].Cumulative
+		if p100 <= p90 {
+			t.Errorf("%s: no mass above p90", p.Portal)
+		}
+		share := float64(p100-p90) / float64(p100)
+		if share < 0.22 {
+			t.Errorf("%s: top decile share %.2f, want heavy skew", p.Portal, share)
+		}
+	}
+}

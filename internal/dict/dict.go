@@ -1,0 +1,188 @@
+// Package dict extracts data dictionaries — column → description
+// mappings — from the metadata documents OGDPs publish. The paper
+// (§3.4) finds that outside SG almost all dictionaries are in
+// unstructured formats and calls automatic extraction "an important
+// research topic"; this package implements extraction for the formats
+// that dominate portals:
+//
+//   - structured CSV dictionaries ("column,description" rows),
+//   - HTML definition lists (<dt>column</dt><dd>description</dd>),
+//   - markdown-style bullet lists ("- column: description"),
+//   - plain "column: description" or "column – description" lines.
+//
+// Extraction is heuristic by necessity; Coverage measures how much of
+// a table's schema a candidate dictionary explains, which is the
+// signal a data system would use to accept or reject an extraction.
+package dict
+
+import (
+	"regexp"
+	"strings"
+
+	"ogdp/internal/table"
+)
+
+// Entry is one extracted dictionary row.
+type Entry struct {
+	Column      string
+	Description string
+}
+
+// Dictionary is an extracted data dictionary.
+type Dictionary struct {
+	Entries []Entry
+	// Format names the winning parser: "csv", "html", "bullets",
+	// "lines", or "" when nothing parsed.
+	Format string
+}
+
+// Lookup returns the description for a column name
+// (case-insensitively), or ok=false.
+func (d *Dictionary) Lookup(column string) (string, bool) {
+	needle := canonical(column)
+	for _, e := range d.Entries {
+		if canonical(e.Column) == needle {
+			return e.Description, true
+		}
+	}
+	return "", false
+}
+
+func canonical(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}
+
+// Extract parses a metadata document with every known format and
+// returns the parse with the most entries.
+func Extract(doc string) *Dictionary {
+	best := &Dictionary{}
+	for _, p := range []struct {
+		name  string
+		parse func(string) []Entry
+	}{
+		{"html", parseHTML},
+		{"csv", parseCSV},
+		{"bullets", parseBullets},
+		{"lines", parseLines},
+	} {
+		entries := p.parse(doc)
+		if len(entries) > len(best.Entries) {
+			best = &Dictionary{Entries: entries, Format: p.name}
+		}
+	}
+	return best
+}
+
+// Coverage is the fraction of the table's columns the dictionary
+// describes.
+func Coverage(d *Dictionary, t *table.Table) float64 {
+	if t.NumCols() == 0 {
+		return 0
+	}
+	n := 0
+	for _, col := range t.Cols {
+		if _, ok := d.Lookup(col); ok {
+			n++
+		}
+	}
+	return float64(n) / float64(t.NumCols())
+}
+
+var dtddRe = regexp.MustCompile(`(?is)<dt[^>]*>(.*?)</dt>\s*<dd[^>]*>(.*?)</dd>`)
+var tagRe = regexp.MustCompile(`<[^>]+>`)
+
+// parseHTML extracts <dt>/<dd> definition pairs.
+func parseHTML(doc string) []Entry {
+	var out []Entry
+	for _, m := range dtddRe.FindAllStringSubmatch(doc, -1) {
+		col := cleanCell(tagRe.ReplaceAllString(m[1], ""))
+		desc := cleanCell(tagRe.ReplaceAllString(m[2], ""))
+		if plausibleColumn(col) && desc != "" {
+			out = append(out, Entry{Column: col, Description: desc})
+		}
+	}
+	return out
+}
+
+// parseCSV extracts "column,description" rows, skipping an optional
+// header row.
+func parseCSV(doc string) []Entry {
+	var out []Entry
+	for i, line := range strings.Split(doc, "\n") {
+		line = strings.TrimRight(line, "\r")
+		idx := strings.IndexByte(line, ',')
+		if idx <= 0 {
+			continue
+		}
+		col := cleanCell(line[:idx])
+		desc := cleanCell(line[idx+1:])
+		if i == 0 && (canonical(col) == "column" || canonical(col) == "field" || canonical(col) == "name") {
+			continue
+		}
+		// CSV dictionaries have simple one-token column cells; prose with
+		// commas does not.
+		if plausibleColumn(col) && desc != "" && !strings.ContainsAny(col, ":–-") {
+			out = append(out, Entry{Column: col, Description: desc})
+		}
+	}
+	return out
+}
+
+var bulletRe = regexp.MustCompile("^\\s*[-*•]\\s*`?([A-Za-z0-9_ ]{1,40})`?\\s*[:—–-]\\s+(.+)$")
+
+// parseBullets extracts "- column: description" style lines.
+func parseBullets(doc string) []Entry {
+	var out []Entry
+	for _, line := range strings.Split(doc, "\n") {
+		m := bulletRe.FindStringSubmatch(strings.TrimRight(line, "\r"))
+		if m == nil {
+			continue
+		}
+		col := cleanCell(m[1])
+		desc := cleanCell(m[2])
+		if plausibleColumn(col) && desc != "" {
+			out = append(out, Entry{Column: col, Description: desc})
+		}
+	}
+	return out
+}
+
+var lineRe = regexp.MustCompile(`^\s*([A-Za-z][A-Za-z0-9_ ]{0,39})\s*[:—–]\s+(.+)$`)
+
+// parseLines extracts bare "column: description" lines.
+func parseLines(doc string) []Entry {
+	var out []Entry
+	for _, line := range strings.Split(doc, "\n") {
+		m := lineRe.FindStringSubmatch(strings.TrimRight(line, "\r"))
+		if m == nil {
+			continue
+		}
+		col := cleanCell(m[1])
+		desc := cleanCell(m[2])
+		if plausibleColumn(col) && desc != "" {
+			out = append(out, Entry{Column: col, Description: desc})
+		}
+	}
+	return out
+}
+
+func cleanCell(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.Trim(s, `"`)
+	return strings.TrimSpace(s)
+}
+
+// plausibleColumn filters extraction noise: column identifiers are
+// short, start with a letter, and contain no sentence punctuation.
+func plausibleColumn(s string) bool {
+	if len(s) == 0 || len(s) > 40 {
+		return false
+	}
+	if !(s[0] >= 'a' && s[0] <= 'z' || s[0] >= 'A' && s[0] <= 'Z') {
+		return false
+	}
+	if strings.ContainsAny(s, ".!?;") {
+		return false
+	}
+	return strings.Count(s, " ") <= 3
+}

@@ -1,0 +1,133 @@
+// Package diskcorpus loads a directory of CSV files into an analyzable
+// corpus, applying the paper's acquisition pipeline to local files:
+// content sniffing, header inference, cleaning, and the wide-table
+// cutoff. When an ogdpgen manifest (datasets.json) is present, tables
+// are attached to their datasets so intra-dataset signals work.
+package diskcorpus
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ogdp/internal/csvio"
+	"ogdp/internal/sniff"
+	"ogdp/internal/table"
+)
+
+// Corpus is a loaded directory of tables.
+type Corpus struct {
+	// Dir is the source directory.
+	Dir string
+	// Tables are the readable tables, sorted by file name.
+	Tables []*table.Table
+	// Skipped counts files that failed sniffing or parsing.
+	Skipped int
+	// SkippedWide counts files rejected by the wide-table cutoff.
+	SkippedWide int
+	// Manifest reports whether a datasets.json manifest was found.
+	Manifest bool
+}
+
+// ByName returns the index of the table with the given file name, or
+// -1.
+func (c *Corpus) ByName(name string) int {
+	for i, t := range c.Tables {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Load reads every *.csv file under dir (non-recursive).
+func Load(dir string) (*Corpus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskcorpus: %w", err)
+	}
+	c := &Corpus{Dir: dir}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		body, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			c.Skipped++
+			continue
+		}
+		t, wide := parse(name, body)
+		if wide {
+			c.SkippedWide++
+			continue
+		}
+		if t == nil {
+			c.Skipped++
+			continue
+		}
+		c.Tables = append(c.Tables, t)
+	}
+	c.Manifest = attachManifest(dir, c.Tables)
+	return c, nil
+}
+
+// parse runs the sniff/read pipeline; wide reports a wide-table
+// rejection.
+func parse(name string, body []byte) (t *table.Table, wide bool) {
+	format := sniff.Detect(body)
+	if !format.IsTabular() {
+		return nil, false
+	}
+	opts := csvio.Options{}
+	if format == sniff.FormatTSV {
+		opts.Comma = '\t'
+	}
+	parsed, err := csvio.ReadWith(name, strings.NewReader(string(body)), opts)
+	if err != nil {
+		if errors.Is(err, csvio.ErrTooWide) {
+			return nil, true
+		}
+		return nil, false
+	}
+	if parsed.NumCols() == 0 || parsed.NumRows() == 0 {
+		return nil, false
+	}
+	return parsed, false
+}
+
+// manifestDataset mirrors the ogdpgen manifest entry.
+type manifestDataset struct {
+	ID     string   `json:"id"`
+	Tables []string `json:"tables"`
+}
+
+// attachManifest assigns DatasetIDs from datasets.json when present.
+func attachManifest(dir string, tables []*table.Table) bool {
+	data, err := os.ReadFile(filepath.Join(dir, "datasets.json"))
+	if err != nil {
+		return false
+	}
+	var manifest []manifestDataset
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		return false
+	}
+	byName := map[string]string{}
+	for _, d := range manifest {
+		for _, t := range d.Tables {
+			byName[t] = d.ID
+		}
+	}
+	for _, t := range tables {
+		t.DatasetID = byName[t.Name]
+	}
+	return true
+}

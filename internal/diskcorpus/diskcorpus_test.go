@@ -1,0 +1,137 @@
+package diskcorpus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ogdp/internal/csvio"
+	"ogdp/internal/gen"
+)
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMixedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "good.csv", "id,name\n1,a\n2,b\n")
+	write(t, dir, "tsv-in-disguise.csv", "id\tname\n1\talpha\n2\tbeta\n")
+	write(t, dir, "broken.csv", "<html><body>404</body></html>")
+	write(t, dir, "notes.txt", "not a csv at all")
+	wideCols := strings.Repeat("c,", 150) + "c\n" + strings.Repeat("1,", 150) + "1\n"
+	write(t, dir, "wide.csv", wideCols)
+
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (got %v)", len(c.Tables), names(c))
+	}
+	if c.Skipped != 1 || c.SkippedWide != 1 {
+		t.Errorf("skipped=%d wide=%d", c.Skipped, c.SkippedWide)
+	}
+	if c.Manifest {
+		t.Error("no manifest should be detected")
+	}
+	if c.ByName("good.csv") < 0 || c.ByName("zzz.csv") != -1 {
+		t.Error("ByName lookup wrong")
+	}
+	// TSV content parsed with tab delimiter.
+	i := c.ByName("tsv-in-disguise.csv")
+	if c.Tables[i].NumCols() != 2 {
+		t.Errorf("tsv columns = %d", c.Tables[i].NumCols())
+	}
+}
+
+func TestLoadWithManifest(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.csv", "id\n1\n2\n")
+	write(t, dir, "b.csv", "id\n3\n4\n")
+	write(t, dir, "datasets.json", `[{"id": "ds-1", "tables": ["a.csv", "b.csv"]}]`)
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Manifest {
+		t.Fatal("manifest not detected")
+	}
+	for _, tb := range c.Tables {
+		if tb.DatasetID != "ds-1" {
+			t.Errorf("%s dataset = %q", tb.Name, tb.DatasetID)
+		}
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load("/nonexistent-dir-xyz"); err == nil {
+		t.Error("missing directory should error")
+	}
+}
+
+func TestLoadDeterministicOrder(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "b.csv", "x,y\n1,2\n")
+	write(t, dir, "a.csv", "x,y\n1,2\n")
+	write(t, dir, "c.csv", "x,y\n1,2\n")
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(c); got != "a.csv,b.csv,c.csv" {
+		t.Errorf("order = %s", got)
+	}
+}
+
+// TestRoundTripWithGenerator writes a generated corpus to disk through
+// csvio and loads it back.
+func TestRoundTripWithGenerator(t *testing.T) {
+	dir := t.TempDir()
+	corpus := gen.Generate(gen.SG(), 0.1, 9)
+	for _, m := range corpus.Metas {
+		f, err := os.Create(filepath.Join(dir, m.Table.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := csvio.Write(f, m.Table); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tables) != len(corpus.Metas) {
+		t.Fatalf("loaded %d of %d tables (skipped %d)", len(c.Tables), len(corpus.Metas), c.Skipped)
+	}
+	for _, tb := range c.Tables {
+		i := -1
+		for j, m := range corpus.Metas {
+			if m.Table.Name == tb.Name {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			t.Fatalf("unknown table %s", tb.Name)
+		}
+		orig := corpus.Metas[i].Table
+		if tb.NumRows() != orig.NumRows() || tb.NumCols() != orig.NumCols() {
+			t.Errorf("%s shape %dx%d -> %dx%d", tb.Name, orig.NumCols(), orig.NumRows(), tb.NumCols(), tb.NumRows())
+		}
+	}
+}
+
+func names(c *Corpus) string {
+	var out []string
+	for _, t := range c.Tables {
+		out = append(out, t.Name)
+	}
+	return strings.Join(out, ",")
+}

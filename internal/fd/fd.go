@@ -1,0 +1,364 @@
+// Package fd discovers minimal non-trivial functional dependencies,
+// reproducing the paper's §4.2 analysis. The main engine implements
+// the FUN algorithm of Novelli & Cicchetti ("FUN: An efficient
+// algorithm for mining functional and embedded dependencies", ICDT
+// 2001): a levelwise exploration of *free sets* driven entirely by
+// cardinality (count-distinct) comparisons:
+//
+//   - X → A holds iff |π_X(T)| = |π_{X∪A}(T)|,
+//   - an attribute set X is free iff no proper subset has the same
+//     cardinality; free sets are downward closed, and every minimal FD
+//     has a free left-hand side, so only free sets are expanded.
+//
+// Following the paper, an FD X → A is trivial when A ∈ X or X is a
+// (super)key, and discovery is bounded at |LHS| ≤ 4 (MaxLHS).
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ogdp/internal/table"
+	"ogdp/internal/values"
+)
+
+// MaxLHS is the paper's bound on the left-hand-side size.
+const MaxLHS = 4
+
+// MaxColumns is the widest table Discover accepts; the levelwise
+// lattice is exponential in the column count, and the paper
+// restricts the FD analysis to tables with at most 20 columns.
+const MaxColumns = 64
+
+// FD is a functional dependency LHS → RHS with a single right-hand
+// attribute. Attributes are column indices. A nil/empty LHS means the
+// RHS column is constant (determined by the empty set).
+type FD struct {
+	LHS []int
+	RHS int
+}
+
+// String renders the FD with column indices, e.g. "[0 2] -> 3".
+func (f FD) String() string {
+	parts := make([]string, len(f.LHS))
+	for i, a := range f.LHS {
+		parts[i] = fmt.Sprint(a)
+	}
+	return "{" + strings.Join(parts, ",") + "} -> " + fmt.Sprint(f.RHS)
+}
+
+// Format renders the FD with column names from t.
+func (f FD) Format(t *table.Table) string {
+	parts := make([]string, len(f.LHS))
+	for i, a := range f.LHS {
+		parts[i] = t.Cols[a]
+	}
+	return strings.Join(parts, ", ") + " -> " + t.Cols[f.RHS]
+}
+
+// attrset is a bitmask over column indices (< MaxColumns).
+type attrset uint64
+
+func (s attrset) has(a int) bool        { return s&(1<<uint(a)) != 0 }
+func (s attrset) with(a int) attrset    { return s | 1<<uint(a) }
+func (s attrset) without(a int) attrset { return s &^ (1 << uint(a)) }
+func (s attrset) size() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+func (s attrset) members(nCols int) []int {
+	var out []int
+	for a := 0; a < nCols; a++ {
+		if s.has(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func setOf(attrs []int) attrset {
+	var s attrset
+	for _, a := range attrs {
+		s = s.with(a)
+	}
+	return s
+}
+
+// engine holds the dictionary-encoded table and the cardinality cache.
+type engine struct {
+	nRows int
+	nCols int
+	codes [][]int32 // codes[c][r]: dictionary code of cell (c, r); nulls share one code
+	cards map[attrset]int
+}
+
+func newEngine(t *table.Table) *engine {
+	e := &engine{
+		nRows: t.NumRows(),
+		nCols: t.NumCols(),
+		codes: make([][]int32, t.NumCols()),
+		cards: make(map[attrset]int),
+	}
+	for c := 0; c < e.nCols; c++ {
+		col := t.Column(c)
+		codes := make([]int32, e.nRows)
+		dict := make(map[string]int32, 64)
+		var next int32 = 1 // 0 is the shared null code
+		for r, v := range col {
+			if values.IsNull(v) {
+				codes[r] = 0
+				continue
+			}
+			id, ok := dict[v]
+			if !ok {
+				id = next
+				next++
+				dict[v] = id
+			}
+			codes[r] = id
+		}
+		e.codes[c] = codes
+	}
+	return e
+}
+
+// card returns the number of distinct tuples in the projection onto s,
+// caching results across the lattice exploration.
+func (e *engine) card(s attrset) int {
+	if s == 0 {
+		if e.nRows > 0 {
+			return 1
+		}
+		return 0
+	}
+	if n, ok := e.cards[s]; ok {
+		return n
+	}
+	cols := s.members(e.nCols)
+	var n int
+	if len(cols) == 1 {
+		seen := make(map[int32]struct{}, 256)
+		for _, code := range e.codes[cols[0]] {
+			seen[code] = struct{}{}
+		}
+		n = len(seen)
+	} else {
+		const prime64 = 1099511628211
+		seen := make(map[uint64]struct{}, e.nRows)
+		for r := 0; r < e.nRows; r++ {
+			var h uint64 = 14695981039346656037
+			for _, c := range cols {
+				h ^= uint64(uint32(e.codes[c][r]))
+				h *= prime64
+			}
+			seen[h] = struct{}{}
+		}
+		n = len(seen)
+	}
+	e.cards[s] = n
+	return n
+}
+
+// Discover returns all minimal non-trivial FDs of t with |LHS| ≤
+// maxLHS (pass fd.MaxLHS for the paper's setting). Tables wider than
+// MaxColumns or with no rows yield no FDs. Constant columns are
+// reported as FDs with an empty LHS.
+func Discover(t *table.Table, maxLHS int) []FD {
+	if t.NumCols() == 0 || t.NumCols() > MaxColumns || t.NumRows() == 0 || maxLHS < 1 {
+		return nil
+	}
+	e := newEngine(t)
+	return e.discover(maxLHS, false)
+}
+
+// HasNontrivialFD reports whether t has at least one non-trivial FD
+// with |LHS| ≤ maxLHS, short-circuiting on the first hit.
+func HasNontrivialFD(t *table.Table, maxLHS int) bool {
+	if t.NumCols() == 0 || t.NumCols() > MaxColumns || t.NumRows() == 0 || maxLHS < 1 {
+		return false
+	}
+	e := newEngine(t)
+	return len(e.discover(maxLHS, true)) > 0
+}
+
+// discover runs the FUN levelwise search. With firstOnly it returns as
+// soon as one FD is found.
+func (e *engine) discover(maxLHS int, firstOnly bool) []FD {
+	var fds []FD
+	// minimalFor[a] holds emitted LHS sets per RHS, for minimality checks.
+	minimalFor := make([][]attrset, e.nCols)
+
+	emit := func(lhs attrset, rhs int) {
+		for _, prev := range minimalFor[rhs] {
+			if prev&lhs == prev { // prev ⊆ lhs: not minimal
+				return
+			}
+		}
+		minimalFor[rhs] = append(minimalFor[rhs], lhs)
+		fds = append(fds, FD{LHS: lhs.members(e.nCols), RHS: rhs})
+	}
+
+	nTotal := e.nRows
+
+	// Level 0: the empty set determines constant columns.
+	for a := 0; a < e.nCols; a++ {
+		if e.card(attrset(0).with(a)) == 1 && nTotal > 1 {
+			emit(0, a)
+			if firstOnly && len(fds) > 0 {
+				return fds
+			}
+		}
+	}
+
+	// Level 1 free sets: non-constant, non-duplicate-cardinality is not
+	// required at level 1 beyond excluding constants (card == card(∅)).
+	level := make([]attrset, 0, e.nCols)
+	free := make(map[attrset]bool, e.nCols*2)
+	for a := 0; a < e.nCols; a++ {
+		s := attrset(0).with(a)
+		if e.card(s) > 1 || nTotal <= 1 {
+			level = append(level, s)
+			free[s] = true
+		}
+	}
+
+	for size := 1; size <= maxLHS && len(level) > 0; size++ {
+		// Emit FDs from this level's free sets.
+		for _, x := range level {
+			cx := e.card(x)
+			if cx == nTotal {
+				continue // X is a (super)key: all its FDs are trivial per the paper
+			}
+			for a := 0; a < e.nCols; a++ {
+				if x.has(a) {
+					continue
+				}
+				if e.card(x.with(a)) == cx {
+					emit(x, a)
+					if firstOnly && len(fds) > 0 {
+						return fds
+					}
+				}
+			}
+		}
+		if size == maxLHS {
+			break
+		}
+		// Generate the next level of free sets.
+		next := make([]attrset, 0, len(level))
+		seen := make(map[attrset]bool, len(level)*2)
+		for _, x := range level {
+			cx := e.card(x)
+			if cx == nTotal {
+				continue // supersets of keys are never free
+			}
+			for a := 0; a < e.nCols; a++ {
+				if x.has(a) {
+					continue
+				}
+				cand := x.with(a)
+				if seen[cand] {
+					continue
+				}
+				seen[cand] = true
+				if isFree(e, free, cand, e.nCols) {
+					free[cand] = true
+					next = append(next, cand)
+				}
+			}
+		}
+		level = next
+	}
+
+	sortFDs(fds)
+	return fds
+}
+
+// isFree reports whether cand is a free set: every proper subset one
+// level down must itself be free and have strictly smaller cardinality.
+func isFree(e *engine, free map[attrset]bool, cand attrset, nCols int) bool {
+	cCand := e.card(cand)
+	for a := 0; a < nCols; a++ {
+		if !cand.has(a) {
+			continue
+		}
+		sub := cand.without(a)
+		if !free[sub] {
+			return false
+		}
+		if e.card(sub) >= cCand {
+			return false
+		}
+	}
+	return true
+}
+
+func sortFDs(fds []FD) {
+	sort.Slice(fds, func(i, j int) bool {
+		a, b := fds[i], fds[j]
+		if len(a.LHS) != len(b.LHS) {
+			return len(a.LHS) < len(b.LHS)
+		}
+		for k := range a.LHS {
+			if a.LHS[k] != b.LHS[k] {
+				return a.LHS[k] < b.LHS[k]
+			}
+		}
+		return a.RHS < b.RHS
+	})
+}
+
+// SimpleFDs filters fds to those with a single-attribute LHS, the
+// City → Province style dependencies the paper reports separately in
+// Table 5.
+func SimpleFDs(fds []FD) []FD {
+	var out []FD
+	for _, f := range fds {
+		if len(f.LHS) == 1 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Holds verifies an FD directly against the table, treating all null
+// spellings as one value. Intended for tests and spot checks.
+func Holds(t *table.Table, f FD) bool {
+	if t.NumRows() == 0 {
+		return true
+	}
+	type rhsSeen struct {
+		val string
+		set bool
+	}
+	canon := func(v string) string {
+		if values.IsNull(v) {
+			return "\x00null"
+		}
+		return v
+	}
+	seen := make(map[string]*rhsSeen)
+	for r := 0; r < t.NumRows(); r++ {
+		var key strings.Builder
+		for _, c := range f.LHS {
+			key.WriteString(canon(t.Data[c][r]))
+			key.WriteByte(0x1f)
+		}
+		k := key.String()
+		rv := canon(t.Data[f.RHS][r])
+		if prev, ok := seen[k]; ok {
+			if prev.val != rv {
+				return false
+			}
+		} else {
+			seen[k] = &rhsSeen{val: rv, set: true}
+		}
+	}
+	return true
+}

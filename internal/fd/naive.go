@@ -1,0 +1,77 @@
+package fd
+
+import (
+	"ogdp/internal/table"
+)
+
+// DiscoverNaive finds the same minimal non-trivial FDs as Discover by
+// exhaustively checking every (LHS, RHS) combination. It exists as a
+// correctness baseline for cross-validation tests and for the
+// FD-algorithm ablation bench; use Discover for real workloads.
+func DiscoverNaive(t *table.Table, maxLHS int) []FD {
+	nCols := t.NumCols()
+	if nCols == 0 || nCols > MaxColumns || t.NumRows() == 0 || maxLHS < 1 {
+		return nil
+	}
+	e := newEngine(t)
+	nTotal := e.nRows
+
+	var fds []FD
+	minimalFor := make([][]attrset, nCols)
+	emit := func(lhs attrset, rhs int) {
+		for _, prev := range minimalFor[rhs] {
+			if prev&lhs == prev {
+				return
+			}
+		}
+		minimalFor[rhs] = append(minimalFor[rhs], lhs)
+		fds = append(fds, FD{LHS: lhs.members(nCols), RHS: rhs})
+	}
+
+	// Constants first (empty LHS).
+	for a := 0; a < nCols; a++ {
+		if e.card(attrset(0).with(a)) == 1 && nTotal > 1 {
+			emit(0, a)
+		}
+	}
+
+	// Enumerate LHS sets in size order so minimality checks see smaller
+	// sets first.
+	sets := enumerateSets(nCols, maxLHS)
+	for _, x := range sets {
+		cx := e.card(x)
+		if cx == nTotal {
+			continue // superkey LHS: trivial per the paper
+		}
+		for a := 0; a < nCols; a++ {
+			if x.has(a) {
+				continue
+			}
+			if e.card(x.with(a)) == cx {
+				emit(x, a)
+			}
+		}
+	}
+	sortFDs(fds)
+	return fds
+}
+
+// enumerateSets lists all non-empty attribute subsets of size ≤ maxSize
+// in ascending size order.
+func enumerateSets(nCols, maxSize int) []attrset {
+	var out []attrset
+	var rec func(start int, cur attrset, size, target int)
+	rec = func(start int, cur attrset, size, target int) {
+		if size == target {
+			out = append(out, cur)
+			return
+		}
+		for a := start; a < nCols; a++ {
+			rec(a+1, cur.with(a), size+1, target)
+		}
+	}
+	for target := 1; target <= maxSize && target <= nCols; target++ {
+		rec(0, 0, 0, target)
+	}
+	return out
+}

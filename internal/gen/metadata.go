@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// MetadataDoc renders a dataset's data dictionary document in the
+// style its metadata field indicates: structured datasets get a clean
+// CSV dictionary; unstructured ones get an HTML page, a markdown-ish
+// bullet list, or loose prose lines, at random (seeded). Datasets with
+// metadata outside the portal or lacking it return ok=false — there is
+// nothing to download, exactly the situation Table 3 quantifies.
+func MetadataDoc(c *Corpus, datasetID string, seed int64) (doc string, ok bool) {
+	var ds *DatasetMeta
+	for i := range c.Datasets {
+		if c.Datasets[i].ID == datasetID {
+			ds = &c.Datasets[i]
+			break
+		}
+	}
+	if ds == nil {
+		return "", false
+	}
+	var metas []*TableMeta
+	for _, m := range c.Metas {
+		if m.Dataset == datasetID {
+			metas = append(metas, m)
+		}
+	}
+	if len(metas) == 0 {
+		return "", false
+	}
+
+	// Collect the union of columns across the dataset's tables.
+	seen := map[string]bool{}
+	type colDoc struct{ name, desc string }
+	var cols []colDoc
+	for _, m := range metas {
+		for i, info := range m.Cols {
+			name := m.Table.Cols[i]
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			cols = append(cols, colDoc{name: name, desc: describeColumn(info, m.Topic)})
+		}
+	}
+
+	switch ds.Metadata {
+	case 1: // structured: CSV dictionary
+		var b strings.Builder
+		b.WriteString("column,description\n")
+		for _, c := range cols {
+			fmt.Fprintf(&b, "%s,%s\n", c.name, c.desc)
+		}
+		return b.String(), true
+	case 2: // unstructured: one of three messy formats
+		rng := rand.New(rand.NewSource(seed + int64(len(cols))))
+		switch rng.Intn(3) {
+		case 0:
+			var b strings.Builder
+			fmt.Fprintf(&b, "<html><body><h1>%s</h1><p>Data dictionary.</p><dl>\n", ds.Title)
+			for _, c := range cols {
+				fmt.Fprintf(&b, "<dt>%s</dt><dd>%s</dd>\n", c.name, c.desc)
+			}
+			b.WriteString("</dl></body></html>\n")
+			return b.String(), true
+		case 1:
+			var b strings.Builder
+			fmt.Fprintf(&b, "# %s\n\nColumns:\n\n", ds.Title)
+			for _, c := range cols {
+				fmt.Fprintf(&b, "- %s: %s\n", c.name, c.desc)
+			}
+			return b.String(), true
+		default:
+			var b strings.Builder
+			fmt.Fprintf(&b, "%s\n\nThe following fields are included in this release.\n\n", ds.Title)
+			for _, c := range cols {
+				fmt.Fprintf(&b, "%s: %s\n", c.name, c.desc)
+			}
+			return b.String(), true
+		}
+	default: // outside portal or lacking
+		return "", false
+	}
+}
+
+// describeColumn writes a one-line description from provenance.
+func describeColumn(info ColumnInfo, topic string) string {
+	switch info.Role {
+	case RoleSequentialID:
+		return "Unique record identifier assigned on export"
+	case RoleEntityKey:
+		return fmt.Sprintf("The %s this record describes", strings.ReplaceAll(info.Pool, "_", " "))
+	case RoleForeignKey:
+		return fmt.Sprintf("Reference to the %s the observation belongs to", info.Pool)
+	case RoleEntityAttr:
+		return fmt.Sprintf("Attribute of the associated %s", info.Pool)
+	case RoleDomain:
+		return fmt.Sprintf("Reporting %s of the observation", info.Pool)
+	case RoleDateKey:
+		return "Observation date (one row per day)"
+	case RolePartitionKey:
+		return "Category the statistics are partitioned by; includes Total and Other aggregate rows"
+	case RoleMeasure:
+		return fmt.Sprintf("Reported measurement for %s", topic)
+	case RoleFreeText:
+		return "Free-form notes"
+	case RoleLevel:
+		return "Statistical breakdown level"
+	default:
+		return "Undocumented field"
+	}
+}

@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"ogdp/internal/classify"
+	"ogdp/internal/join"
+)
+
+// Oracle labels joinable and unionable pairs from generation
+// provenance, standing in for the paper's manual annotation (§5.3.2).
+// The rules encode the paper's definitions: a pair is Useful when the
+// join output has a clear interpretation (which, in a synthetic
+// corpus, is decidable from how the tables were constructed), R-Acc
+// when the tables share a context but the join does not, and U-Acc
+// when the tables are unrelated.
+type Oracle struct {
+	corpus *Corpus
+}
+
+// Truth creates the labeling oracle for a generated corpus.
+func Truth(c *Corpus) *Oracle { return &Oracle{corpus: c} }
+
+// LabelJoin labels one joinable pair. Table indices in p refer to
+// corpus.Tables() order.
+func (o *Oracle) LabelJoin(p join.Pair) classify.Label {
+	m1 := o.corpus.Metas[p.T1]
+	m2 := o.corpus.Metas[p.T2]
+	c1 := m1.Cols[p.C1]
+	c2 := m2.Cols[p.C2]
+
+	sameDataset := m1.Dataset == m2.Dataset
+	sameTopic := m1.Topic == m2.Topic
+	related := m1.Category == m2.Category
+
+	// Useful pattern 1: joining on the planted entity key of a
+	// semi-normalized dataset — key-key between master/aspect tables,
+	// or key-foreign-key between the master and a transaction table —
+	// when the tables belong to the same topic. Joins of two fact
+	// tables on their foreign keys (nonkey-nonkey) blow up without a
+	// clear interpretation and are accidental, matching the paper's
+	// "joins of semi-normalized tables on non-key columns" pattern.
+	if c1.Pool != "" && c1.Pool == c2.Pool && sameTopic {
+		if isEntityJoinRole(c1.Role) && isEntityJoinRole(c2.Role) &&
+			(c1.Role == RoleEntityKey || c2.Role == RoleEntityKey) {
+			return classify.LabelUseful
+		}
+	}
+
+	// Useful pattern 2: two statistics tables about the same event
+	// class joined on their date keys (COVID testing ⨝ COVID cases).
+	if c1.Role == RoleDateKey && c2.Role == RoleDateKey && m1.EventClass == m2.EventClass && m1.EventClass != "" {
+		return classify.LabelUseful
+	}
+
+	// Useful pattern 3: partitioned statistics joined on the partition
+	// key (species tables with Total/Other rows, Anecdote 3).
+	if c1.Role == RolePartitionKey && c2.Role == RolePartitionKey && sameTopic {
+		return classify.LabelUseful
+	}
+
+	// Everything else is accidental. Same dataset or same topic or the
+	// same broad category means the tables are related (R-Acc); tables
+	// from different categories are unrelated (U-Acc).
+	if sameDataset || sameTopic || related {
+		return classify.LabelRAcc
+	}
+	return classify.LabelUAcc
+}
+
+// isEntityJoinRole reports whether a column role represents the
+// entity identity a semi-normalized dataset is organized around.
+func isEntityJoinRole(r ColumnRole) bool {
+	switch r {
+	case RoleEntityKey, RoleForeignKey:
+		return true
+	}
+	return false
+}
+
+// LabelUnion labels a unionable pair of tables (indices into
+// corpus.Tables()). Periodic and partitioned same-schema publications
+// are useful unions; SG's standardized schemas across unrelated topics
+// and US duplicate republications are accidental.
+func (o *Oracle) LabelUnion(t1, t2 int) classify.Label {
+	m1 := o.corpus.Metas[t1]
+	m2 := o.corpus.Metas[t2]
+
+	// Duplicate republication: the union just doubles every row.
+	if m1.DuplicateOf != "" || m2.DuplicateOf != "" {
+		if m1.Topic == m2.Topic {
+			return classify.LabelRAcc
+		}
+	}
+	// Standardized schemas across different topics are schema
+	// collisions, not real unions.
+	if m1.Style == StyleStandardized && m2.Style == StyleStandardized && m1.Topic != m2.Topic {
+		return classify.LabelUAcc
+	}
+	// Same topic (periodic partitions, aspect re-publications,
+	// cross-year datasets by the same organization): interpretable.
+	if m1.Topic == m2.Topic {
+		return classify.LabelUseful
+	}
+	// Same schema, same category, different topic: still generally
+	// interpretable (e.g. the same statistical table family), matching
+	// the paper's finding that union false positives are rare.
+	if m1.Category == m2.Category {
+		return classify.LabelUseful
+	}
+	return classify.LabelUAcc
+}

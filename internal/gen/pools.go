@@ -1,0 +1,262 @@
+package gen
+
+import "fmt"
+
+// entityPool is a closed domain of entity values with functionally
+// dependent attributes, the raw material for denormalized tables
+// (City → Province style FDs) and for value-overlap joins.
+type entityPool struct {
+	// name identifies the pool ("city", "species", ...); columns drawn
+	// from the same pool overlap in values.
+	name string
+	// keyName is the column name used for the key values.
+	keyName string
+	// values are the key values.
+	values []string
+	// attrs maps attribute column name -> values parallel to values
+	// (each attribute is functionally dependent on the key).
+	attrs map[string][]string
+}
+
+func (p *entityPool) size() int { return len(p.values) }
+
+var provinceNames = []string{
+	"Ontario", "Quebec", "British Columbia", "Alberta", "Manitoba",
+	"Saskatchewan", "Nova Scotia", "New Brunswick",
+	"Newfoundland and Labrador", "Prince Edward Island",
+	"Northwest Territories", "Yukon", "Nunavut",
+}
+
+var stateNames = []string{
+	"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+	"Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+	"Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+	"Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+	"New Hampshire", "New Jersey", "New Mexico", "New York",
+	"North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+	"Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+	"Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+	"West Virginia", "Wisconsin", "Wyoming",
+}
+
+var cityNames = []string{
+	"Toronto", "Montreal", "Vancouver", "Calgary", "Edmonton", "Ottawa",
+	"Winnipeg", "Quebec City", "Hamilton", "Kitchener", "London",
+	"Victoria", "Halifax", "Oshawa", "Windsor", "Saskatoon", "Regina",
+	"Sherbrooke", "Barrie", "Kelowna", "Abbotsford", "Kingston",
+	"Sudbury", "Trois-Rivieres", "Guelph", "Moncton", "Brantford",
+	"Saint John", "Thunder Bay", "Waterloo", "Charlottetown",
+	"Fredericton", "Nanaimo", "Red Deer", "Lethbridge", "Kamloops",
+	"Prince George", "Medicine Hat", "Drummondville", "Saint-Jerome",
+}
+
+var speciesNames = []string{
+	"Atlantic Cod", "Haddock", "Pollock", "Lumpfish", "Halibut",
+	"Herring", "Mackerel", "Capelin", "Redfish", "Greenland Turbot",
+	"American Plaice", "Yellowtail Flounder", "Witch Flounder",
+	"Winter Flounder", "Skate", "Dogfish", "Atlantic Salmon",
+	"Arctic Char", "Rainbow Trout", "Brook Trout", "Lake Whitefish",
+	"Walleye", "Northern Pike", "Yellow Perch", "Smallmouth Bass",
+	"Striped Bass", "American Eel", "Snow Crab", "Lobster", "Shrimp",
+}
+
+var industryL1 = []string{
+	"Manufacturing", "Services", "Construction", "Agriculture",
+	"Mining", "Utilities", "Transport", "Finance",
+}
+
+var fundTypes = []string{"Operating", "Capital", "Grant"}
+
+var councilNames = []string{
+	"Camden", "Greenwich", "Hackney", "Islington", "Lambeth",
+	"Lewisham", "Southwark", "Tower Hamlets", "Wandsworth",
+	"Westminster", "Barnet", "Bexley", "Brent", "Bromley", "Croydon",
+	"Ealing", "Enfield", "Haringey", "Harrow", "Havering", "Hillingdon",
+	"Hounslow", "Kingston", "Merton", "Newham", "Redbridge", "Richmond",
+	"Sutton", "Waltham Forest", "Bristol", "Leeds", "Manchester",
+}
+
+// buildPools constructs the shared entity pools. Pools are shared per
+// generator so columns drawn from the same pool across tables have
+// overlapping values. regionPool names the portal's regional domain
+// ("province", "state", or "council"); city entities map onto it, so
+// the saturation of the derived attribute matches the portal's
+// geography.
+func buildPools(regionPool string) map[string]*entityPool {
+	pools := make(map[string]*entityPool)
+
+	pools["province"] = &entityPool{
+		name: "province", keyName: "province", values: provinceNames,
+		attrs: map[string][]string{},
+	}
+	pools["state"] = &entityPool{
+		name: "state", keyName: "state", values: stateNames,
+		attrs: map[string][]string{},
+	}
+	pools["council"] = &entityPool{
+		name: "council", keyName: "council", values: councilNames,
+		attrs: map[string][]string{},
+	}
+
+	region := pools[regionPool]
+	if region == nil {
+		region = pools["province"]
+	}
+	cityRegion := make([]string, len(cityNames))
+	for i := range cityNames {
+		cityRegion[i] = region.values[i%len(region.values)]
+	}
+	pools["city"] = &entityPool{
+		name: "city", keyName: "city", values: cityNames,
+		attrs: map[string][]string{region.keyName: cityRegion},
+	}
+
+	spGroup := make([]string, len(speciesNames))
+	for i := range speciesNames {
+		if i < 18 {
+			spGroup[i] = "Groundfish"
+		} else if i < 27 {
+			spGroup[i] = "Freshwater"
+		} else {
+			spGroup[i] = "Shellfish"
+		}
+	}
+	pools["species"] = &entityPool{
+		name: "species", keyName: "species", values: speciesNames,
+		attrs: map[string][]string{"species_group": spGroup},
+	}
+
+	// Industry hierarchy: 32 level-2 industries under 8 level-1 groups.
+	var l2 []string
+	var l2parent []string
+	for i := 0; i < 32; i++ {
+		parent := industryL1[i%len(industryL1)]
+		l2 = append(l2, fmt.Sprintf("%s Sector %d", parent, i/len(industryL1)+1))
+		l2parent = append(l2parent, parent)
+	}
+	pools["industry"] = &entityPool{
+		name: "industry", keyName: "industry_2", values: l2,
+		attrs: map[string][]string{"industry_1": l2parent},
+	}
+
+	// Fund codes: code -> description, type (the Chicago budget FD).
+	var codes, descs, types []string
+	for i := 0; i < 20; i++ {
+		codes = append(codes, fmt.Sprintf("%03d", 100+i*7))
+		descs = append(descs, fmt.Sprintf("Fund %03d - %s Appropriations", 100+i*7, fundTypes[i%3]))
+		types = append(types, fundTypes[i%3])
+	}
+	pools["fund"] = &entityPool{
+		name: "fund", keyName: "fund_code", values: codes,
+		attrs: map[string][]string{"fund_description": descs, "fund_type": types},
+	}
+
+	// Departments: number -> description.
+	var depts, deptDescs []string
+	for i := 0; i < 25; i++ {
+		depts = append(depts, fmt.Sprintf("%d", 10+i*3))
+		deptDescs = append(deptDescs, fmt.Sprintf("Department of Service %d", 10+i*3))
+	}
+	pools["department"] = &entityPool{
+		name: "department", keyName: "dept_number", values: depts,
+		attrs: map[string][]string{"dept_description": deptDescs},
+	}
+
+	// Facilities with geo coordinates (for geo-spatial join columns).
+	var facs, coords []string
+	for i := 0; i < 40; i++ {
+		facs = append(facs, fmt.Sprintf("Facility %02d", i+1))
+		lat := 43.0 + float64(i)*0.137
+		lon := -80.0 - float64(i)*0.211
+		coords = append(coords, fmt.Sprintf("%.4f, %.4f", lat, lon))
+	}
+	pools["facility"] = &entityPool{
+		name: "facility", keyName: "facility", values: facs,
+		attrs: map[string][]string{"location": coords},
+	}
+
+	// Small integer codes (the plntendem pattern of Anecdote 1): a
+	// 30-value integer domain that repeats massively in large tables
+	// and overlaps perfectly across unrelated publishers. Step 3 keeps
+	// the values non-contiguous (plain integers, not incremental ids).
+	var codes30 []string
+	for i := 0; i < 15; i++ {
+		codes30 = append(codes30, fmt.Sprintf("%d", i*3+1))
+	}
+	pools["code"] = &entityPool{
+		name: "code", keyName: "plan_code", values: codes30,
+		attrs: map[string][]string{},
+	}
+
+	// Years as a shared numeric domain.
+	var years []string
+	for y := 2000; y <= 2022; y++ {
+		years = append(years, fmt.Sprintf("%d", y))
+	}
+	pools["year"] = &entityPool{
+		name: "year", keyName: "year", values: years,
+		attrs: map[string][]string{},
+	}
+
+	// Shared daily date range (the COVID-style common domain).
+	var dates []string
+	for d := 0; d < 365; d++ {
+		month := d/31 + 1
+		day := d%31 + 1
+		if month > 12 {
+			month = 12
+		}
+		dates = append(dates, fmt.Sprintf("2021-%02d-%02d", month, day))
+	}
+	dates = dedupeStrings(dates)
+	pools["date"] = &entityPool{
+		name: "date", keyName: "date", values: dates,
+		attrs: map[string][]string{},
+	}
+
+	return pools
+}
+
+func dedupeStrings(in []string) []string {
+	seen := make(map[string]struct{}, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+// topicCategory groups topics into broad domains; tables from the same
+// category are "related" for labeling purposes.
+var topicCategories = map[string][]string{
+	"health":      {"covid testing", "covid cases", "covid vaccinations", "hospital wait times", "immunization coverage", "specialist service costs"},
+	"fisheries":   {"fish landings", "lumpfish catch rates", "aquaculture production", "commercial licences"},
+	"finance":     {"budget recommendations", "tax statistics", "research awards", "spending over 25k", "grants and contributions"},
+	"environment": {"air quality", "co2 emissions", "water quality", "terrestrial biodiversity"},
+	"transport":   {"road collisions", "transit ridership", "ev charging stations", "parking tickets"},
+	"labour":      {"labour statistics", "employment by industry", "average wages", "job vacancies"},
+	"housing":     {"housing starts", "property assessments", "social housing waitlist", "building permits"},
+	"justice":     {"crime statistics", "conditional release decisions", "court cases", "police calls"},
+	"education":   {"school enrolment", "graduation rates", "research funding", "library usage"},
+	"energy":      {"electricity generation", "fuel prices", "energy consumption", "renewable capacity"},
+}
+
+// topicList flattens topicCategories deterministically.
+func topicList() []struct{ topic, category string } {
+	var out []struct{ topic, category string }
+	// Deterministic order: iterate a fixed category order.
+	for _, cat := range []string{
+		"health", "fisheries", "finance", "environment", "transport",
+		"labour", "housing", "justice", "education", "energy",
+	} {
+		for _, t := range topicCategories[cat] {
+			out = append(out, struct{ topic, category string }{t, cat})
+		}
+	}
+	return out
+}

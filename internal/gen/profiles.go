@@ -1,0 +1,246 @@
+package gen
+
+// PortalProfile holds the per-portal generation knobs, calibrated
+// against the statistics the paper reports for each portal. All
+// probabilities are in [0, 1]; style weights need not sum to 1 (they
+// are normalized).
+type PortalProfile struct {
+	// Name is the portal code.
+	Name string
+
+	// BaseDatasets is the dataset count at Scale 1.0.
+	BaseDatasets int
+
+	// Style weights: probability mass of each dataset publication
+	// pattern.
+	WDenormalized float64
+	WSemiNorm     float64
+	WPeriodic     float64
+	WStandardized float64
+	WEventStats   float64
+	WPartitioned  float64
+	WDuplicate    float64
+
+	// MedianRows and MaxRows shape the lognormal row-count
+	// distribution.
+	MedianRows int
+	MaxRows    int
+	// RowSigma is the lognormal shape parameter (larger = heavier
+	// tail).
+	RowSigma float64
+
+	// MedianCols shapes the column-count distribution of denormalized
+	// tables.
+	MedianCols int
+
+	// PeriodicMin/Max bound the number of period tables per periodic
+	// dataset.
+	PeriodicMin, PeriodicMax int
+
+	// PeriodicDriftProb is the probability a periodic dataset's entity
+	// coverage and size drift between periods (drifting periods share a
+	// schema but not a 0.9 value overlap).
+	PeriodicDriftProb float64
+
+	// KeyProb is the probability a fact table receives a sequential-ID
+	// key column (drives the key-scarcity figures).
+	KeyProb float64
+
+	// Null injection: fraction of data columns with some nulls, with
+	// heavy (> 50%) nulls, and entirely null.
+	NullColFrac   float64
+	HeavyNullFrac float64
+	AllNullFrac   float64
+
+	// Metadata style distribution (Table 3): structured, unstructured,
+	// outside; the remainder is lacking.
+	MetaStructured   float64
+	MetaUnstructured float64
+	MetaOutside      float64
+
+	// Funnel rates (Table 1): fraction of advertised tables that fail
+	// to download, that download but are not readable, and that are
+	// rejected as too wide.
+	NotDownloadableFrac float64
+	UnreadableFrac      float64
+	WideFrac            float64
+
+	// Growth: publication years. With BulkYear != 0, most datasets are
+	// stamped with that year (the step-function ingest the paper saw);
+	// otherwise dates spread uniformly over [YearFrom, YearTo] (UK's
+	// linear growth).
+	YearFrom, YearTo int
+	BulkYear         int
+
+	// DomainColProb is the probability a fact table carries an extra
+	// shared-domain column (state/province/year), the raw material of
+	// accidental joins.
+	DomainColProb float64
+
+	// CodeColProb is the probability a denormalized table carries a
+	// low-cardinality integer code column (the plntendem pattern):
+	// such columns overlap perfectly across unrelated tables and
+	// produce the enormous join expansions of Figure 8.
+	CodeColProb float64
+
+	// StatePool names the geographic pool this portal uses
+	// ("province" for CA, "state" for US, "council" for UK/SG).
+	StatePool string
+}
+
+// Profiles returns the four calibrated portal profiles in the paper's
+// order: SG, CA, UK, US.
+func Profiles() []PortalProfile {
+	return []PortalProfile{SG(), CA(), UK(), US()}
+}
+
+// ProfileByName returns the profile for a portal code, or ok=false.
+func ProfileByName(name string) (PortalProfile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PortalProfile{}, false
+}
+
+// SG models Singapore: few, narrow, clean tables; standardized
+// {level_1, level_2, year, value} schemas across many topics; every
+// dataset has structured metadata; almost everything downloads.
+func SG() PortalProfile {
+	return PortalProfile{
+		Name:         "SG",
+		BaseDatasets: 90,
+
+		WDenormalized: 0.12,
+		WSemiNorm:     0.08,
+		WPeriodic:     0.18,
+		WStandardized: 0.55,
+		WEventStats:   0.05,
+		WPartitioned:  0.02,
+
+		MedianRows: 95, MaxRows: 20000, RowSigma: 1.7,
+		MedianCols:  4,
+		PeriodicMin: 2, PeriodicMax: 5,
+		PeriodicDriftProb: 0.35,
+		KeyProb:           0.40,
+
+		NullColFrac: 0.05, HeavyNullFrac: 0.01, AllNullFrac: 0.0,
+
+		MetaStructured: 1.0,
+
+		NotDownloadableFrac: 0.01, UnreadableFrac: 0.0, WideFrac: 0.0,
+
+		YearFrom: 2016, YearTo: 2022, BulkYear: 2019,
+
+		DomainColProb: 0.30,
+		CodeColProb:   0.02,
+		StatePool:     "council",
+	}
+}
+
+// CA models Canada: multi-table datasets, many semi-normalized and
+// periodic publications, 41% downloadable, mostly unstructured or
+// missing metadata.
+func CA() PortalProfile {
+	return PortalProfile{
+		Name:         "CA",
+		BaseDatasets: 190,
+
+		WDenormalized: 0.32,
+		WSemiNorm:     0.18,
+		WPeriodic:     0.30,
+		WStandardized: 0.02,
+		WEventStats:   0.10,
+		WPartitioned:  0.08,
+
+		MedianRows: 148, MaxRows: 45000, RowSigma: 1.6,
+		MedianCols:  10,
+		PeriodicMin: 2, PeriodicMax: 10,
+		PeriodicDriftProb: 0.60,
+		KeyProb:           0.46,
+
+		NullColFrac: 0.55, HeavyNullFrac: 0.23, AllNullFrac: 0.03,
+
+		MetaStructured: 0.04, MetaUnstructured: 0.08, MetaOutside: 0.29,
+
+		NotDownloadableFrac: 0.59, UnreadableFrac: 0.005, WideFrac: 0.014,
+
+		YearFrom: 2014, YearTo: 2022, BulkYear: 2018,
+
+		DomainColProb: 0.35,
+		CodeColProb:   0.10,
+		StatePool:     "province",
+	}
+}
+
+// UK models the United Kingdom: the most tables, dominated by
+// periodically published multi-table datasets, metadata mostly
+// lacking, slow linear growth (Figure 2).
+func UK() PortalProfile {
+	return PortalProfile{
+		Name:         "UK",
+		BaseDatasets: 300,
+
+		WDenormalized: 0.29,
+		WSemiNorm:     0.17,
+		WPeriodic:     0.40,
+		WStandardized: 0.02,
+		WEventStats:   0.07,
+		WPartitioned:  0.05,
+
+		MedianRows: 86, MaxRows: 35000, RowSigma: 1.6,
+		MedianCols:  9,
+		PeriodicMin: 3, PeriodicMax: 12,
+		PeriodicDriftProb: 0.80,
+		KeyProb:           0.50,
+
+		NullColFrac: 0.50, HeavyNullFrac: 0.13, AllNullFrac: 0.03,
+
+		MetaStructured: 0.04, MetaUnstructured: 0.05, MetaOutside: 0.03,
+
+		NotDownloadableFrac: 0.55, UnreadableFrac: 0.005, WideFrac: 0.048,
+
+		YearFrom: 2017, YearTo: 2022, BulkYear: 0, // linear growth
+
+		DomainColProb: 0.32,
+		CodeColProb:   0.25,
+		StatePool:     "council",
+	}
+}
+
+// US models the United States: most datasets but ~1.5 tables each,
+// large tables, better key discipline, duplicate publications, no
+// structured metadata.
+func US() PortalProfile {
+	return PortalProfile{
+		Name:         "US",
+		BaseDatasets: 640,
+
+		WDenormalized: 0.62,
+		WSemiNorm:     0.08,
+		WPeriodic:     0.12,
+		WStandardized: 0.0,
+		WEventStats:   0.05,
+		WPartitioned:  0.02,
+		WDuplicate:    0.07,
+
+		MedianRows: 447, MaxRows: 90000, RowSigma: 1.7,
+		MedianCols:  10,
+		PeriodicMin: 2, PeriodicMax: 6,
+		PeriodicDriftProb: 0.60,
+		KeyProb:           0.85,
+
+		NullColFrac: 0.50, HeavyNullFrac: 0.13, AllNullFrac: 0.03,
+
+		MetaStructured: 0.0, MetaUnstructured: 0.0, MetaOutside: 0.27,
+
+		NotDownloadableFrac: 0.43, UnreadableFrac: 0.003, WideFrac: 0.021,
+
+		YearFrom: 2013, YearTo: 2022, BulkYear: 2017,
+
+		DomainColProb: 0.20,
+		CodeColProb:   0.75,
+		StatePool:     "state",
+	}
+}

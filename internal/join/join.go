@@ -1,0 +1,294 @@
+// Package join finds joinable table pairs the way the paper does
+// (§5.1): two columns are joinable when the Jaccard similarity of
+// their distinct value sets is at least 0.9 and both columns have at
+// least 10 distinct values. The finder uses a prefix-filter inverted
+// index (the AllPairs family of set-similarity joins) so the search is
+// subquadratic on realistic corpora, and computes for every joinable
+// pair the expansion ratio |T1 ⋈ T2| / max(|T1|, |T2|) analyzed in
+// Figure 8.
+package join
+
+import (
+	"sort"
+
+	"ogdp/internal/table"
+)
+
+// Defaults from the paper.
+const (
+	// DefaultMinJaccard is the value-overlap threshold for joinability.
+	DefaultMinJaccard = 0.9
+	// DefaultMinUnique is the minimum distinct-value count for a column
+	// to participate (filters boolean-like columns).
+	DefaultMinUnique = 10
+)
+
+// Options configures Find.
+type Options struct {
+	// MinJaccard defaults to DefaultMinJaccard.
+	MinJaccard float64
+	// MinUnique defaults to DefaultMinUnique; negative disables the
+	// filter.
+	MinUnique int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinJaccard == 0 {
+		o.MinJaccard = DefaultMinJaccard
+	}
+	if o.MinUnique == 0 {
+		o.MinUnique = DefaultMinUnique
+	}
+	return o
+}
+
+// Pair is one joinable quadruplet (T1, C1, T2, C2) with T1 < T2 as
+// table indices into the analyzed corpus.
+type Pair struct {
+	T1, C1 int
+	T2, C2 int
+	// Jaccard is the exact Jaccard similarity of the distinct value
+	// sets.
+	Jaccard float64
+	// Expansion is the paper's expansion ratio: the number of output
+	// tuples of the equi-join divided by the row count of the larger
+	// input table.
+	Expansion float64
+	// Key1 and Key2 report whether each join column is a key of its
+	// table (uniqueness 1.0, no nulls).
+	Key1, Key2 bool
+}
+
+// Analysis is the result of a joinability search over a corpus.
+type Analysis struct {
+	// Tables is the analyzed corpus (as passed to Find).
+	Tables []*table.Table
+	// Pairs are all joinable pairs found.
+	Pairs []Pair
+	// Eligible counts columns that passed the MinUnique filter.
+	Eligible int
+}
+
+// column is one indexed column.
+type column struct {
+	tbl, col int
+	hashes   []uint64 // sorted distinct value hashes (no nulls)
+	isKey    bool
+}
+
+// Find runs the joinability analysis over the corpus.
+func Find(tables []*table.Table, opts Options) *Analysis {
+	opts = opts.withDefaults()
+	a := &Analysis{Tables: tables}
+
+	cols := collectColumns(tables, opts.MinUnique)
+	a.Eligible = len(cols)
+	if len(cols) < 2 {
+		return a
+	}
+
+	// Prefix-filter candidate generation: for Jaccard >= θ two sets
+	// must share a value among the first floor((1-θ)·|S|)+1 elements of
+	// each sorted set. Index those prefixes, verify candidates exactly.
+	type candKey struct{ i, j int }
+	postings := make(map[uint64][]int)
+	seen := make(map[candKey]struct{})
+
+	for ci, c := range cols {
+		prefixLen := int(float64(len(c.hashes))*(1-opts.MinJaccard)) + 1
+		if prefixLen > len(c.hashes) {
+			prefixLen = len(c.hashes)
+		}
+		for _, h := range c.hashes[:prefixLen] {
+			for _, cj := range postings[h] {
+				o := cols[cj]
+				if o.tbl == c.tbl {
+					continue
+				}
+				// Size filter: |A|/|B| must be within [θ, 1/θ].
+				la, lb := len(c.hashes), len(o.hashes)
+				if float64(min(la, lb)) < opts.MinJaccard*float64(max(la, lb)) {
+					continue
+				}
+				key := candKey{cj, ci}
+				if _, ok := seen[key]; ok {
+					continue
+				}
+				seen[key] = struct{}{}
+				if j, ok := jaccard(c.hashes, o.hashes, opts.MinJaccard); ok {
+					a.Pairs = append(a.Pairs, makePair(tables, cols, cj, ci, j))
+				}
+			}
+			postings[h] = append(postings[h], ci)
+		}
+	}
+
+	sort.Slice(a.Pairs, func(i, j int) bool {
+		p, q := a.Pairs[i], a.Pairs[j]
+		if p.T1 != q.T1 {
+			return p.T1 < q.T1
+		}
+		if p.C1 != q.C1 {
+			return p.C1 < q.C1
+		}
+		if p.T2 != q.T2 {
+			return p.T2 < q.T2
+		}
+		return p.C2 < q.C2
+	})
+	return a
+}
+
+// FindAllPairs is the brute-force baseline used by tests and the
+// join-index ablation bench: it verifies every eligible column pair.
+func FindAllPairs(tables []*table.Table, opts Options) *Analysis {
+	opts = opts.withDefaults()
+	a := &Analysis{Tables: tables}
+	cols := collectColumns(tables, opts.MinUnique)
+	a.Eligible = len(cols)
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			if cols[i].tbl == cols[j].tbl {
+				continue
+			}
+			if jv, ok := jaccard(cols[i].hashes, cols[j].hashes, opts.MinJaccard); ok {
+				a.Pairs = append(a.Pairs, makePair(tables, cols, i, j, jv))
+			}
+		}
+	}
+	sort.Slice(a.Pairs, func(i, j int) bool {
+		p, q := a.Pairs[i], a.Pairs[j]
+		if p.T1 != q.T1 {
+			return p.T1 < q.T1
+		}
+		if p.C1 != q.C1 {
+			return p.C1 < q.C1
+		}
+		if p.T2 != q.T2 {
+			return p.T2 < q.T2
+		}
+		return p.C2 < q.C2
+	})
+	return a
+}
+
+func makePair(tables []*table.Table, cols []column, i, j int, jv float64) Pair {
+	a, b := cols[i], cols[j]
+	if b.tbl < a.tbl || (b.tbl == a.tbl && b.col < a.col) {
+		a, b = b, a
+	}
+	p := Pair{
+		T1: a.tbl, C1: a.col,
+		T2: b.tbl, C2: b.col,
+		Jaccard: jv,
+		Key1:    a.isKey, Key2: b.isKey,
+	}
+	p.Expansion = expansionRatio(tables[p.T1], p.C1, tables[p.T2], p.C2)
+	return p
+}
+
+// collectColumns indexes every eligible column of the corpus.
+func collectColumns(tables []*table.Table, minUnique int) []column {
+	var out []column
+	for ti, t := range tables {
+		for ci := range t.Cols {
+			p := t.Profile(ci)
+			if minUnique > 0 && p.Distinct < minUnique {
+				continue
+			}
+			if p.Distinct == 0 {
+				continue
+			}
+			hashes := make([]uint64, 0, p.Distinct)
+			for h := range p.Counts {
+				hashes = append(hashes, h)
+			}
+			sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+			out = append(out, column{tbl: ti, col: ci, hashes: hashes, isKey: p.IsKey()})
+		}
+	}
+	return out
+}
+
+// jaccard computes the exact Jaccard similarity of two sorted hash
+// sets, returning ok=false as soon as the similarity provably falls
+// below minJ.
+func jaccard(a, b []uint64, minJ float64) (float64, bool) {
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0, false
+	}
+	// Upper bound: min/max sizes.
+	if float64(min(la, lb)) < minJ*float64(max(la, lb)) {
+		return 0, false
+	}
+	inter := 0
+	i, j := 0, 0
+	remA, remB := la, lb
+	for i < la && j < lb {
+		// Early exit: even if everything remaining intersects, can we
+		// still reach minJ?
+		maxInter := inter + min(remA, remB)
+		union := la + lb - maxInter
+		if float64(maxInter) < minJ*float64(union) {
+			return 0, false
+		}
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+			remA--
+			remB--
+		case a[i] < b[j]:
+			i++
+			remA--
+		default:
+			j++
+			remB--
+		}
+	}
+	union := la + lb - inter
+	jv := float64(inter) / float64(union)
+	return jv, jv >= minJ
+}
+
+// expansionRatio computes |T1 ⋈_{c1=c2} T2| / max(|T1|, |T2|) from the
+// columns' value-frequency maps: the join output size is
+// Σ_v freq1(v)·freq2(v) over shared values (nulls never join).
+func expansionRatio(t1 *table.Table, c1 int, t2 *table.Table, c2 int) float64 {
+	p1 := t1.Profile(c1)
+	p2 := t2.Profile(c2)
+	small, large := p1.Counts, p2.Counts
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	var out int64
+	for h, n := range small {
+		if m, ok := large[h]; ok {
+			out += int64(n) * int64(m)
+		}
+	}
+	denom := t1.NumRows()
+	if t2.NumRows() > denom {
+		denom = t2.NumRows()
+	}
+	if denom == 0 {
+		return 0
+	}
+	return float64(out) / float64(denom)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

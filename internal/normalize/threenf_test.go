@@ -1,0 +1,208 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+
+	"ogdp/internal/fd"
+	"ogdp/internal/table"
+)
+
+func TestSynthesize3NFCityProvince(t *testing.T) {
+	tb := denormalized()
+	res := Synthesize3NF(tb, fd.MaxLHS)
+	if len(res.Tables) < 2 {
+		t.Fatalf("synthesized %d tables", len(res.Tables))
+	}
+	// One relation must hold city -> province.
+	found := false
+	for _, st := range res.Tables {
+		if st.ColumnIndex("city") >= 0 && st.ColumnIndex("province") >= 0 && st.NumCols() == 2 {
+			found = true
+		}
+	}
+	if !found {
+		var all []string
+		for _, st := range res.Tables {
+			all = append(all, strings.Join(st.Cols, ","))
+		}
+		t.Errorf("no city/province relation: %v", all)
+	}
+}
+
+func TestSynthesize3NFDependencyPreservation(t *testing.T) {
+	tb := denormalized()
+	res := Synthesize3NF(tb, fd.MaxLHS)
+	// Every cover FD must be checkable inside one sub-table and hold
+	// there.
+	for _, f := range res.Cover {
+		housed := false
+		for _, st := range res.Tables {
+			idx := map[int]int{}
+			ok := true
+			for _, a := range append(append([]int(nil), f.LHS...), f.RHS) {
+				ci := st.ColumnIndex(tb.Cols[a])
+				if ci < 0 {
+					ok = false
+					break
+				}
+				idx[a] = ci
+			}
+			if !ok {
+				continue
+			}
+			housed = true
+			local := fd.FD{RHS: idx[f.RHS]}
+			for _, a := range f.LHS {
+				local.LHS = append(local.LHS, idx[a])
+			}
+			if !fd.Holds(st, local) {
+				t.Errorf("cover FD %v violated in sub-table %v", f.Format(tb), st.Cols)
+			}
+		}
+		if !housed {
+			t.Errorf("cover FD %v not preserved in any sub-table", f.Format(tb))
+		}
+	}
+}
+
+func TestSynthesize3NFLossless(t *testing.T) {
+	tb := denormalized()
+	res := Synthesize3NF(tb, fd.MaxLHS)
+	joined := res.Tables[0]
+	for i := 1; i < len(res.Tables); i++ {
+		joined = naturalJoin(joined, res.Tables[i])
+	}
+	origSet := tupleSet(tb, tb.Cols)
+	joinSet := tupleSet(joined, tb.Cols)
+	if len(origSet) != len(joinSet) {
+		t.Fatalf("tuple counts differ: %d vs %d", len(origSet), len(joinSet))
+	}
+	for k := range origSet {
+		if _, ok := joinSet[k]; !ok {
+			t.Fatal("tuple lost by 3NF synthesis")
+		}
+	}
+}
+
+func TestSynthesize3NFKeyRelation(t *testing.T) {
+	tb := denormalized()
+	res := Synthesize3NF(tb, fd.MaxLHS)
+	if len(res.Key) == 0 {
+		t.Fatal("no candidate key computed")
+	}
+	// The key must reach the whole schema under the cover.
+	for a := 0; a < tb.NumCols(); a++ {
+		ok := false
+		for _, k := range res.Key {
+			if k == a {
+				ok = true
+			}
+		}
+		if !ok && !inClosure(res.Key, a, res.Cover, tb.NumCols()) {
+			t.Errorf("key %v does not determine column %d", res.Key, a)
+		}
+	}
+	// Some relation contains the key.
+	contained := false
+	for _, st := range res.Tables {
+		all := true
+		for _, k := range res.Key {
+			if st.ColumnIndex(tb.Cols[k]) < 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			contained = true
+		}
+	}
+	if !contained {
+		t.Error("no synthesized relation contains the candidate key")
+	}
+}
+
+func TestSynthesize3NFNoFDs(t *testing.T) {
+	tb := table.FromRows("t", []string{"id", "val"}, [][]string{
+		{"1", "a"}, {"2", "b"},
+	})
+	res := Synthesize3NF(tb, fd.MaxLHS)
+	if len(res.Tables) != 1 || res.Tables[0] != tb {
+		t.Errorf("FD-free table should synthesize to itself")
+	}
+}
+
+func TestMinimalCoverReduces(t *testing.T) {
+	// (city, extra) -> province is implied by city -> province; the
+	// cover must contain only minimal, non-redundant FDs.
+	fds := []fd.FD{
+		{LHS: []int{0}, RHS: 1},
+		{LHS: []int{0, 2}, RHS: 1},
+	}
+	cover := minimalCover(fds, 3)
+	if len(cover) != 1 || len(cover[0].LHS) != 1 || cover[0].LHS[0] != 0 {
+		t.Errorf("cover = %v", cover)
+	}
+}
+
+func TestCandidateKeyComputation(t *testing.T) {
+	// a -> b, b -> c: key is {a}.
+	fds := []fd.FD{
+		{LHS: []int{0}, RHS: 1},
+		{LHS: []int{1}, RHS: 2},
+	}
+	key := candidateKey(fds, 3)
+	if len(key) != 1 || key[0] != 0 {
+		t.Errorf("key = %v, want [0]", key)
+	}
+	// No FDs: key is everything.
+	key = candidateKey(nil, 3)
+	if len(key) != 3 {
+		t.Errorf("FD-free key = %v", key)
+	}
+}
+
+func TestSynthesize3NFBudget(t *testing.T) {
+	// The Chicago budget shape: two independent lookup dimensions.
+	var rows [][]string
+	for i := 0; i < 60; i++ {
+		fund := i % 6
+		dept := i % 10
+		rows = append(rows, []string{
+			itoa(i + 1), itoa(fund), "Fund " + itoa(fund), itoa(dept), "Dept " + itoa(dept), itoa((i * 7) % 100),
+		})
+	}
+	tb := table.FromRows("budget", []string{"line_id", "fund_code", "fund_desc", "dept_no", "dept_desc", "amount"}, rows)
+	res := Synthesize3NF(tb, fd.MaxLHS)
+	if len(res.Tables) < 3 {
+		t.Errorf("budget synthesized into %d relations, want >= 3", len(res.Tables))
+	}
+	// Lookups must be compact.
+	for _, st := range res.Tables {
+		if st.ColumnIndex("fund_code") >= 0 && st.ColumnIndex("fund_desc") >= 0 && st.NumCols() == 2 {
+			if st.NumRows() != 6 {
+				t.Errorf("fund lookup has %d rows, want 6", st.NumRows())
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func BenchmarkSynthesize3NF(b *testing.B) {
+	tb := denormalized()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Synthesize3NF(tb, fd.MaxLHS)
+	}
+}

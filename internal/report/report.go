@@ -1,0 +1,593 @@
+// Package report renders every table and figure of the paper's
+// evaluation from a core.StudyResult, printing measured values next to
+// the values the paper reports so the reproduction can be compared at
+// a glance. Absolute numbers are not expected to match (the corpus is
+// a calibrated synthetic stand-in, scaled down); shapes — who wins, by
+// what rough factor, where crossovers fall — should.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ogdp/internal/classify"
+	"ogdp/internal/core"
+	"ogdp/internal/stats"
+)
+
+// portalOrder is the paper's column order.
+var portalOrder = []string{"SG", "CA", "UK", "US"}
+
+// byName indexes portal results in paper order.
+func byName(res *core.StudyResult) []core.PortalResult {
+	out := make([]core.PortalResult, 0, len(portalOrder))
+	for _, name := range portalOrder {
+		for _, p := range res.Portals {
+			if p.Portal == name {
+				out = append(out, p)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return res.Portals
+	}
+	return out
+}
+
+// writer wraps an io.Writer with formatting helpers.
+type writer struct{ w io.Writer }
+
+func (w writer) printf(format string, args ...interface{}) {
+	fmt.Fprintf(w.w, format, args...)
+}
+
+func (w writer) section(title string) {
+	fmt.Fprintf(w.w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+func (w writer) row(label string, cells ...string) {
+	fmt.Fprintf(w.w, "  %-46s", label)
+	for _, c := range cells {
+		fmt.Fprintf(w.w, " %14s", c)
+	}
+	fmt.Fprintln(w.w)
+}
+
+func pct(f float64) string      { return fmt.Sprintf("%.1f%%", f*100) }
+func count(n int) string        { return stats.FormatCount(float64(n)) }
+func f2(f float64) string       { return fmt.Sprintf("%.2f", f) }
+func mib(b int64) string        { return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20)) }
+func paperNote(s string) string { return "(paper: " + s + ")" }
+
+// All renders every table and figure to w.
+func All(w io.Writer, res *core.StudyResult) {
+	Table1(w, res)
+	Figure1(w, res)
+	Figure2(w, res)
+	Table2(w, res)
+	Figure3(w, res)
+	Figure4(w, res)
+	Table3(w, res)
+	Figure5(w, res)
+	Table4(w, res)
+	Figure6(w, res)
+	Table5(w, res)
+	Figure7(w, res)
+	Table6(w, res)
+	Figure8(w, res)
+	Table7(w, res)
+	Table8(w, res)
+	Table9(w, res)
+	Table10(w, res)
+	Table11(w, res)
+	UnionLabels(w, res)
+	PredictorReport(w, res)
+	Supplementary(w, res)
+	Extensions(w, res)
+}
+
+// Table1 prints portal size statistics.
+func Table1(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Table 1: Portal size statistics " + paperNote("US largest: 1933 GiB raw, 433 GiB compressed; CA only 41% downloadable"))
+	header(w, ps)
+	w.row("total # datasets", mapCells(ps, func(p core.PortalResult) string { return count(p.Sizes.Datasets) })...)
+	w.row("avg # tables per dataset", mapCells(ps, func(p core.PortalResult) string { return f2(p.Sizes.AvgTablesPerDS) })...)
+	w.row("max # tables per dataset", mapCells(ps, func(p core.PortalResult) string { return count(p.Sizes.MaxTablesPerDS) })...)
+	w.row("total # tables", mapCells(ps, func(p core.PortalResult) string { return count(p.Sizes.Tables) })...)
+	w.row("total # downloadable tables", mapCells(ps, func(p core.PortalResult) string { return count(p.Sizes.Downloadable) })...)
+	w.row("total # readable tables", mapCells(ps, func(p core.PortalResult) string { return count(p.Sizes.Readable) })...)
+	w.row("total # columns", mapCells(ps, func(p core.PortalResult) string { return count(p.Sizes.Columns) })...)
+	w.row("total size", mapCells(ps, func(p core.PortalResult) string { return mib(p.Sizes.TotalBytes) })...)
+	if ps[0].Sizes.CompressedBytes > 0 {
+		w.row("total compressed size", mapCells(ps, func(p core.PortalResult) string { return mib(p.Sizes.CompressedBytes) })...)
+		w.row("compression ratio", mapCells(ps, func(p core.PortalResult) string {
+			if p.Sizes.CompressedBytes == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("1:%.1f", float64(p.Sizes.TotalBytes)/float64(p.Sizes.CompressedBytes))
+		})...)
+	}
+	w.row("size of largest table", mapCells(ps, func(p core.PortalResult) string { return mib(p.Sizes.LargestTableBytes) })...)
+}
+
+func header(w writer, ps []core.PortalResult) {
+	cells := make([]string, len(ps))
+	for i, p := range ps {
+		cells[i] = p.Portal
+	}
+	w.row("", cells...)
+}
+
+func mapCells(ps []core.PortalResult, f func(core.PortalResult) string) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = f(p)
+	}
+	return out
+}
+
+// Figure1 prints the size-percentile curves.
+func Figure1(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	w.section("Figure 1: Cut-off table size and cumulative size per percentile " + paperNote("dropping the top 10% shrinks US from 1.9TB to 24GB"))
+	ps := byName(res)
+	header(w, ps)
+	if len(ps) == 0 || len(ps[0].SizePercentiles) == 0 {
+		return
+	}
+	for i := range ps[0].SizePercentiles {
+		p := ps[0].SizePercentiles[i].Percentile
+		w.row(fmt.Sprintf("p%.0f cumulative", p), mapCells(ps, func(pr core.PortalResult) string {
+			return mib(pr.SizePercentiles[i].Cumulative)
+		})...)
+	}
+}
+
+// Figure2 prints the UK growth curve.
+func Figure2(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	w.section("Figure 2: Annual growth of cumulative UK portal size " + paperNote("slow, roughly linear growth"))
+	for _, p := range byName(res) {
+		if p.Portal != "UK" {
+			continue
+		}
+		for _, g := range p.Growth {
+			bar := strings.Repeat("#", int(40*float64(g.Cumulative)/float64(p.Growth[len(p.Growth)-1].Cumulative)))
+			w.printf("  %d %10s %s\n", g.Year, mib(g.Cumulative), bar)
+		}
+	}
+}
+
+// Table2 prints table size statistics.
+func Table2(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Table 2: Table size statistics " + paperNote("median cols 4-10; median rows 86-447, US largest"))
+	header(w, ps)
+	w.row("avg # columns per table", mapCells(ps, func(p core.PortalResult) string { return f2(p.TableSizes.AvgCols) })...)
+	w.row("median # columns per table", mapCells(ps, func(p core.PortalResult) string { return fmt.Sprintf("%.0f", p.TableSizes.MedianCols) })...)
+	w.row("max # columns per table", mapCells(ps, func(p core.PortalResult) string { return count(p.TableSizes.MaxCols) })...)
+	w.row("avg # rows per table", mapCells(ps, func(p core.PortalResult) string { return stats.FormatCount(p.TableSizes.AvgRows) })...)
+	w.row("median # rows per table", mapCells(ps, func(p core.PortalResult) string { return fmt.Sprintf("%.0f", p.TableSizes.MedianRows) })...)
+	w.row("max # rows per table", mapCells(ps, func(p core.PortalResult) string { return count(p.TableSizes.MaxRows) })...)
+}
+
+// Figure3 prints row/column histograms.
+func Figure3(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Figure 3: Distribution of table sizes (tuples, columns) " + paperNote("most tables <1000 rows; >95% of tables ≤50 columns"))
+	for _, p := range ps {
+		w.printf("  %s columns: ", p.Portal)
+		for _, b := range p.ColsHist {
+			w.printf("[%g,%g):%d ", b.Lo, b.Hi, b.Count)
+		}
+		w.printf("\n  %s rows:    ", p.Portal)
+		for _, b := range p.RowsHist {
+			w.printf("[%s,%s):%d ", stats.FormatCount(b.Lo), stats.FormatCount(b.Hi), b.Count)
+		}
+		w.printf("\n")
+	}
+}
+
+// Figure4 prints null value analysis.
+func Figure4(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Figure 4: Null value ratios " + paperNote("SG nearly null-free; elsewhere half of columns have nulls, ~3% entirely null"))
+	header(w, ps)
+	w.row("% columns with nulls", mapCells(ps, func(p core.PortalResult) string { return pct(p.Nulls.FracColsWithNulls) })...)
+	w.row("% columns > half null", mapCells(ps, func(p core.PortalResult) string { return pct(p.Nulls.FracColsHalfEmpty) })...)
+	w.row("% columns entirely null", mapCells(ps, func(p core.PortalResult) string { return pct(p.Nulls.FracColsAllNull) })...)
+}
+
+// Table3 prints metadata availability.
+func Table3(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Table 3: Metadata file availability " + paperNote("SG 100% structured; US 0/0/27/73; UK 88% lacking"))
+	header(w, ps)
+	w.row("structured", mapCells(ps, func(p core.PortalResult) string { return pct(p.Metadata.Structured) })...)
+	w.row("unstructured", mapCells(ps, func(p core.PortalResult) string { return pct(p.Metadata.Unstructured) })...)
+	w.row("outside portal", mapCells(ps, func(p core.PortalResult) string { return pct(p.Metadata.Outside) })...)
+	w.row("lacking", mapCells(ps, func(p core.PortalResult) string { return pct(p.Metadata.Lacking) })...)
+}
+
+// Figure5 prints unique-count and uniqueness-score distributions.
+func Figure5(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Figure 5: Unique value counts and uniqueness scores " + paperNote("median uniques 10-30 despite hundreds of rows"))
+	header(w, ps)
+	w.row("median unique values per column", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%.0f", p.Uniqueness["all"].MedianUnique)
+	})...)
+	w.row("median uniqueness score", mapCells(ps, func(p core.PortalResult) string {
+		return f2(p.Uniqueness["all"].MedianUniqueness)
+	})...)
+	w.row("% columns with score < 0.1", mapCells(ps, func(p core.PortalResult) string {
+		return pct(p.Uniqueness["all"].FracBelowTenthSco)
+	})...)
+}
+
+// Table4 prints uniqueness statistics by broad type.
+func Table4(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Table 4: Uniqueness statistics by column class " + paperNote("text repeats far more than numeric; e.g. US medians 14 vs 55"))
+	header(w, ps)
+	for _, class := range []string{"text", "number", "all"} {
+		w.row("# "+class+" columns", mapCells(ps, func(p core.PortalResult) string { return count(p.Uniqueness[class].Columns) })...)
+		w.row("  median unique values", mapCells(ps, func(p core.PortalResult) string {
+			return fmt.Sprintf("%.0f", p.Uniqueness[class].MedianUnique)
+		})...)
+		w.row("  median uniqueness score", mapCells(ps, func(p core.PortalResult) string {
+			return f2(p.Uniqueness[class].MedianUniqueness)
+		})...)
+	}
+}
+
+// Figure6 prints the candidate key size distribution.
+func Figure6(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Figure 6: Minimum candidate key sizes " + paperNote("33-58% lack a single-column key; ~10% lack any key ≤ 3"))
+	header(w, ps)
+	for size := 1; size <= 3; size++ {
+		s := size
+		w.row(fmt.Sprintf("min key size %d", s), mapCells(ps, func(p core.PortalResult) string {
+			return pctOfDist(p.KeySizeDist, s)
+		})...)
+	}
+	w.row("no key of size <= 3", mapCells(ps, func(p core.PortalResult) string {
+		return pctOfDist(p.KeySizeDist, 0)
+	})...)
+}
+
+func pctOfDist(dist []int, idx int) string {
+	total := 0
+	for _, n := range dist {
+		total += n
+	}
+	if total == 0 || idx >= len(dist) {
+		return "-"
+	}
+	return pct(float64(dist[idx]) / float64(total))
+}
+
+// Table5 prints FD and decomposition statistics.
+func Table5(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Table 5: FD and BCNF decomposition statistics " + paperNote("54-84% of tables have a non-trivial FD; 2.4-3.4 sub-tables; 2.2-3.0x uniqueness gains"))
+	header(w, ps)
+	w.row("total # tables (subset)", mapCells(ps, func(p core.PortalResult) string { return count(p.FD.Tables) })...)
+	w.row("avg # columns per table", mapCells(ps, func(p core.PortalResult) string { return f2(p.FD.AvgCols) })...)
+	w.row("% tables with a non-trivial FD", mapCells(ps, func(p core.PortalResult) string { return pct(p.FD.WithFDPct) })...)
+	w.row("% tables with an FD s.t. |LHS|=1", mapCells(ps, func(p core.PortalResult) string { return pct(p.FD.WithSimpleFDPct) })...)
+	w.row("avg # tables after decomposition", mapCells(ps, func(p core.PortalResult) string { return f2(p.FD.AvgDecomposed) })...)
+	w.row("avg # columns in partitions", mapCells(ps, func(p core.PortalResult) string { return f2(p.FD.AvgPartitionCols) })...)
+	w.row("avg uniqueness gain (unrepeated cols)", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%.2fx", p.FD.AvgUniquenessGain)
+	})...)
+}
+
+// Figure7 prints the decomposition count distribution.
+func Figure7(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Figure 7: Number of decomposed tables " + paperNote("many tables split into 3+ sub-tables, up to 11"))
+	header(w, ps)
+	maxK := 1
+	for _, p := range ps {
+		for k := range p.FD.DecompositionDist {
+			if k > maxK {
+				maxK = k
+			}
+		}
+	}
+	for k := 1; k <= maxK; k++ {
+		kk := k
+		w.row(fmt.Sprintf("decomposed into %d", kk), mapCells(ps, func(p core.PortalResult) string {
+			return fmt.Sprintf("%d", p.FD.DecompositionDist[kk])
+		})...)
+	}
+}
+
+// Table6 prints joinability statistics.
+func Table6(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Table 6: Joinable pair statistics " + paperNote("48-66% of tables joinable; 76-82% of joinable columns are non-key"))
+	header(w, ps)
+	w.row("total # joinable pairs", mapCells(ps, func(p core.PortalResult) string { return count(p.Join.Pairs) })...)
+	w.row("total # tables", mapCells(ps, func(p core.PortalResult) string { return count(p.Join.Tables) })...)
+	w.row("# joinable tables", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%s (%s)", count(p.Join.JoinableTables), pct(p.Join.JoinableTablesPct))
+	})...)
+	w.row("median degree per joinable table", mapCells(ps, func(p core.PortalResult) string { return fmt.Sprintf("%.0f", p.Join.MedianTableDegree) })...)
+	w.row("max degree per joinable table", mapCells(ps, func(p core.PortalResult) string { return count(p.Join.MaxTableDegree) })...)
+	w.row("total # columns", mapCells(ps, func(p core.PortalResult) string { return count(p.Join.Columns) })...)
+	w.row("# joinable columns", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%s (%s)", count(p.Join.JoinableCols), pct(p.Join.JoinableColsPct))
+	})...)
+	w.row("# key joinable columns", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%s (%s)", count(p.Join.KeyJoinable), pct(p.Join.KeyJoinablePct))
+	})...)
+	w.row("# non-key joinable columns", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%s (%s)", count(p.Join.NonkeyJoinable), pct(p.Join.NonkeyJoinablePct))
+	})...)
+	w.row("median degree per joinable column", mapCells(ps, func(p core.PortalResult) string { return fmt.Sprintf("%.0f", p.Join.MedianColDegree) })...)
+	w.row("max degree per joinable column", mapCells(ps, func(p core.PortalResult) string { return count(p.Join.MaxColDegree) })...)
+}
+
+// Figure8 prints the expansion ratio letter-value summary.
+func Figure8(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Figure 8: Join expansion ratios (letter values) " + paperNote("medians: SG 2, CA 1, UK 1, US 24; US upper quartile > 100"))
+	header(w, ps)
+	w.row("median expansion", mapCells(ps, func(p core.PortalResult) string { return f2(p.Join.ExpansionLV.Median) })...)
+	labels := []string{"quartiles", "eighths", "sixteenths"}
+	for i, lbl := range labels {
+		idx := i
+		w.row(lbl, mapCells(ps, func(p core.PortalResult) string {
+			if idx >= len(p.Join.ExpansionLV.Pairs) {
+				return "-"
+			}
+			pr := p.Join.ExpansionLV.Pairs[idx]
+			return fmt.Sprintf("%.1f..%.1f", pr[0], pr[1])
+		})...)
+	}
+}
+
+// labelPortals filters to CA/UK/US, the portals the paper labels (SG is
+// removed in §5.3.1 because its sampled pairs were uniformly the
+// standardized-schema kind).
+func labelPortals(res *core.StudyResult) []core.PortalResult {
+	var out []core.PortalResult
+	for _, p := range byName(res) {
+		if p.Portal != "SG" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func distCells(d classify.LabelDist) string {
+	return fmt.Sprintf("%s/%s/%s", pct(d.UAcc), pct(d.RAcc), pct(d.Useful))
+}
+
+// Table7 prints the overall label distribution.
+func Table7(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := labelPortals(res)
+	w.section("Table 7: Accidental vs useful labels (U-Acc/R-Acc/useful) " + paperNote("accidental 80.8-86.7%"))
+	header(w, ps)
+	w.row("all sampled pairs", mapCells(ps, func(p core.PortalResult) string { return distCells(p.Labels.Overall) })...)
+	w.row("total accidental", mapCells(ps, func(p core.PortalResult) string { return pct(p.Labels.Overall.Accidental()) })...)
+	w.row("sample size", mapCells(ps, func(p core.PortalResult) string { return fmt.Sprintf("%d", p.Labels.Samples) })...)
+}
+
+// Table8 prints labels by dataset locality.
+func Table8(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := labelPortals(res)
+	w.section("Table 8: Labels for inter- vs intra-dataset pairs " + paperNote("useful: inter 6-15%, intra 29-53%"))
+	header(w, ps)
+	w.row("inter-dataset useful", mapCells(ps, func(p core.PortalResult) string { return pct(p.Labels.Locality[0].Useful) })...)
+	w.row("intra-dataset useful", mapCells(ps, func(p core.PortalResult) string { return pct(p.Labels.Locality[1].Useful) })...)
+}
+
+// Table9 prints labels by key combination.
+func Table9(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := labelPortals(res)
+	w.section("Table 9: Labels by key combination " + paperNote("useful: key-key 22-34%, nonkey-nonkey 2-4%"))
+	header(w, ps)
+	for combo := 0; combo < 3; combo++ {
+		cb := combo
+		w.row(classify.KeyCombo(cb).String()+" useful", mapCells(ps, func(p core.PortalResult) string {
+			return pct(p.Labels.Combos[cb].Useful)
+		})...)
+	}
+}
+
+// Table10 prints labels by join-column data type.
+func Table10(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := labelPortals(res)
+	w.section("Table 10: Labels by join column data type " + paperNote("incremental integer useful 0-5%; categorical 23-32%"))
+	header(w, ps)
+	for i, group := range classify.JoinTypeGroups {
+		gi := i
+		w.row(group+" useful", mapCells(ps, func(p core.PortalResult) string {
+			d := p.Labels.Types[gi]
+			if d.N == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%s (n=%d)", pct(d.Useful), d.N)
+		})...)
+	}
+}
+
+// Table11 prints unionability statistics.
+func Table11(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("Table 11: Unionable table statistics " + paperNote(">57% of tables unionable; 14-25% of schemas shared"))
+	header(w, ps)
+	w.row("total # tables", mapCells(ps, func(p core.PortalResult) string { return count(p.Union.Tables) })...)
+	w.row("# unionable tables", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%s (%s)", count(p.Union.UnionableTables), pct(p.Union.UnionableTablesPct))
+	})...)
+	w.row("median degree per unionable table", mapCells(ps, func(p core.PortalResult) string { return fmt.Sprintf("%.0f", p.Union.MedianDegree) })...)
+	w.row("max degree per unionable table", mapCells(ps, func(p core.PortalResult) string { return count(p.Union.MaxDegree) })...)
+	w.row("# unique schemas", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%s (%.2f)", count(p.Union.UniqueSchemas), p.Union.AvgTablesPerSchema)
+	})...)
+	w.row("# unionable schemas", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%s (%s)", count(p.Union.UnionableSchemas), pct(p.Union.UnionableSchemasPct))
+	})...)
+	w.row("unionable schemas w/ single dataset", mapCells(ps, func(p core.PortalResult) string {
+		return fmt.Sprintf("%s (%s)", count(p.Union.SingleDatasetGroups), pct(p.Union.SingleDatasetPct))
+	})...)
+}
+
+// UnionLabels prints the §6 labeling summary.
+func UnionLabels(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	w.section("§6 Union pair labels " + paperNote("overwhelmingly useful; accidental: SG standardized schemas, US duplicates"))
+	header(w, ps)
+	w.row("useful", mapCells(ps, func(p core.PortalResult) string { return pct(p.UnionLabels.Useful) })...)
+	w.row("accidental", mapCells(ps, func(p core.PortalResult) string { return pct(p.UnionLabels.Accidental()) })...)
+}
+
+// PredictorReport prints the recommended-signal filter vs overlap-only.
+func PredictorReport(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := labelPortals(res)
+	w.section("Extension: paper-recommended signals vs overlap-only suggestions (precision of 'useful')")
+	header(w, ps)
+	w.row("overlap-only precision", mapCells(ps, func(p core.PortalResult) string { return pct(p.Labels.Baseline.Precision()) })...)
+	w.row("signal-filter precision", mapCells(ps, func(p core.PortalResult) string { return pct(p.Labels.Predictor.Precision()) })...)
+	w.row("signal-filter recall", mapCells(ps, func(p core.PortalResult) string { return pct(p.Labels.Predictor.Recall()) })...)
+}
+
+// Supplementary prints the paper's supplementary analyses: the
+// expansion-ratio distribution at the relaxed Jaccard threshold of 0.7
+// (the paper reports it matches Figure 8) and the label distribution
+// by T1 size bucket (the paper reports no clear correlation).
+func Supplementary(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	ps := byName(res)
+	if len(ps) > 0 && ps[0].JoinAt07 != nil {
+		w.section("Supplementary: expansion ratios at Jaccard >= 0.7 " + paperNote("similar picture as the 0.9 threshold"))
+		header(w, ps)
+		w.row("pairs at 0.7 / at 0.9", mapCells(ps, func(p core.PortalResult) string {
+			if p.JoinAt07 == nil {
+				return "-"
+			}
+			return fmt.Sprintf("%s / %s", count(p.JoinAt07.Pairs), count(p.Join.Pairs))
+		})...)
+		w.row("median expansion at 0.7", mapCells(ps, func(p core.PortalResult) string {
+			if p.JoinAt07 == nil {
+				return "-"
+			}
+			return f2(p.JoinAt07.ExpansionLV.Median)
+		})...)
+		w.row("median expansion at 0.9", mapCells(ps, func(p core.PortalResult) string {
+			return f2(p.Join.ExpansionLV.Median)
+		})...)
+	}
+
+	lps := labelPortals(res)
+	w.section("Supplementary: labels by T1 size bucket " + paperNote("no clear correlation with table size"))
+	header2 := make([]string, len(lps))
+	for i, p := range lps {
+		header2[i] = p.Portal
+	}
+	w.row("", header2...)
+	for b := 0; b < 3; b++ {
+		bb := b
+		w.row(classify.SizeBucket(bb).String()+" useful", mapCells(lps, func(p core.PortalResult) string {
+			d := p.Labels.Buckets[bb]
+			if d.N == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%s (n=%d)", pct(d.Useful), d.N)
+		})...)
+	}
+}
+
+// Extensions prints the beyond-the-paper analyses when the study
+// computed them (core.Options.Extensions).
+func Extensions(out io.Writer, res *core.StudyResult) {
+	ps := byName(res)
+	any := false
+	for _, p := range ps {
+		if p.Ext != nil {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	w := writer{out}
+	w.section("Extensions: inclusion dependencies, fuzzy unions, FD plausibility")
+	header(w, ps)
+	w.row("exact unary INDs", mapCells(ps, func(p core.PortalResult) string {
+		if p.Ext == nil {
+			return "-"
+		}
+		return count(p.Ext.INDs)
+	})...)
+	w.row("foreign-key candidates", mapCells(ps, func(p core.PortalResult) string {
+		if p.Ext == nil {
+			return "-"
+		}
+		return count(p.Ext.ForeignKeyCandidates)
+	})...)
+	w.row("fk candidates matching planted fks", mapCells(ps, func(p core.PortalResult) string {
+		if p.Ext == nil {
+			return "-"
+		}
+		return pct(p.Ext.PlantedFKRecovered)
+	})...)
+	w.row("unionable tables exact / fuzzy", mapCells(ps, func(p core.PortalResult) string {
+		if p.Ext == nil {
+			return "-"
+		}
+		return fmt.Sprintf("%d / %d", p.Ext.ExactUnionTables, p.Ext.FuzzyUnionTables)
+	})...)
+	w.row("mean FD plausibility", mapCells(ps, func(p core.PortalResult) string {
+		if p.Ext == nil {
+			return "-"
+		}
+		return f2(p.Ext.MeanFDPlausibility)
+	})...)
+}
+
+// Summary prints the one-paragraph shape checklist.
+func Summary(out io.Writer, res *core.StudyResult) {
+	w := writer{out}
+	w.section("Shape summary (measured vs paper)")
+	ps := byName(res)
+	var joinables, unionables []string
+	for _, p := range ps {
+		joinables = append(joinables, fmt.Sprintf("%s %.0f%%", p.Portal, p.Join.JoinableTablesPct*100))
+		unionables = append(unionables, fmt.Sprintf("%s %.0f%%", p.Portal, p.Union.UnionableTablesPct*100))
+	}
+	sort.Strings(joinables)
+	w.printf("  joinable tables: %s (paper 48-66%%)\n", strings.Join(joinables, ", "))
+	w.printf("  unionable tables: %s (paper 57-77%%)\n", strings.Join(unionables, ", "))
+	for _, p := range ps {
+		w.printf("  %s: FD prevalence %.0f%%, accidental joins %.0f%%, expansion median %.1f\n",
+			p.Portal, p.FD.WithFDPct*100, p.Labels.Overall.Accidental()*100, p.Join.ExpansionLV.Median)
+	}
+}

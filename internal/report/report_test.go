@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ogdp/internal/core"
+	"ogdp/internal/gen"
+)
+
+var cached *core.StudyResult
+
+func study(t *testing.T) *core.StudyResult {
+	t.Helper()
+	if cached == nil {
+		cached = core.Run(gen.Profiles(), core.Options{
+			Scale: 0.08, Seed: 3, MaxFDTables: 25, SamplePerCell: 4, UnionSamples: 8,
+		})
+	}
+	return cached
+}
+
+func TestAllRendersEverySection(t *testing.T) {
+	var b strings.Builder
+	All(&b, study(t))
+	out := b.String()
+	wantSections := []string{
+		"Table 1:", "Figure 1:", "Figure 2:", "Table 2:", "Figure 3:",
+		"Figure 4:", "Table 3:", "Figure 5:", "Table 4:", "Figure 6:",
+		"Table 5:", "Figure 7:", "Table 6:", "Figure 8:", "Table 7:",
+		"Table 8:", "Table 9:", "Table 10:", "Table 11:", "Union pair labels",
+	}
+	for _, s := range wantSections {
+		if !strings.Contains(out, s) {
+			t.Errorf("output missing section %q", s)
+		}
+	}
+	for _, portal := range []string{"SG", "CA", "UK", "US"} {
+		if !strings.Contains(out, portal) {
+			t.Errorf("output missing portal %s", portal)
+		}
+	}
+	if !strings.Contains(out, "paper:") {
+		t.Error("output missing paper reference notes")
+	}
+}
+
+func TestSGExcludedFromLabelTables(t *testing.T) {
+	var b strings.Builder
+	Table7(&b, study(t))
+	// The header row of Table 7 must not include SG (paper §5.3.1).
+	lines := strings.Split(b.String(), "\n")
+	for _, ln := range lines {
+		if strings.Contains(ln, "Table 7") {
+			continue
+		}
+		if strings.Contains(ln, "SG") {
+			t.Errorf("Table 7 includes SG: %q", ln)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var b strings.Builder
+	Summary(&b, study(t))
+	out := b.String()
+	if !strings.Contains(out, "joinable tables") || !strings.Contains(out, "expansion median") {
+		t.Errorf("summary incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,184 @@
+// Package search provides the query-table discovery operations the
+// dataset search systems discussed in the paper expose (Auctus,
+// Toronto Open Data Search, JOSIE): given a query table — not
+// necessarily part of the corpus — find the columns it can join with,
+// ranked top-k by exact value overlap (JOSIE's semantics), and the
+// tables it can union with. An inverted index over distinct column
+// values answers queries without rescanning the corpus.
+package search
+
+import (
+	"sort"
+
+	"ogdp/internal/join"
+	"ogdp/internal/table"
+)
+
+// ColumnRef identifies a corpus column.
+type ColumnRef struct {
+	Table  int
+	Column int
+}
+
+// Result is one joinability search hit.
+type Result struct {
+	Ref ColumnRef
+	// Overlap is the exact intersection size of distinct values.
+	Overlap int
+	// Jaccard is the exact Jaccard similarity.
+	Jaccard float64
+	// Containment is |Q ∩ C| / |Q|: how much of the query column the
+	// candidate covers (the LSH-Ensemble metric, more robust for
+	// asymmetric sizes).
+	Containment float64
+}
+
+// Engine is an inverted index over a corpus's eligible columns.
+type Engine struct {
+	tables    []*table.Table
+	minUnique int
+	columns   []ColumnRef
+	distinct  []int
+	postings  map[uint64][]int32 // value hash -> ids into columns
+}
+
+// New indexes all columns of the corpus with at least minUnique
+// distinct values (pass join.DefaultMinUnique for the paper's filter;
+// minUnique ≤ 0 indexes everything).
+func New(tables []*table.Table, minUnique int) *Engine {
+	e := &Engine{
+		tables:    tables,
+		minUnique: minUnique,
+		postings:  make(map[uint64][]int32),
+	}
+	for ti, t := range tables {
+		for ci := range t.Cols {
+			p := t.Profile(ci)
+			if minUnique > 0 && p.Distinct < minUnique {
+				continue
+			}
+			if p.Distinct == 0 {
+				continue
+			}
+			id := int32(len(e.columns))
+			e.columns = append(e.columns, ColumnRef{Table: ti, Column: ci})
+			e.distinct = append(e.distinct, p.Distinct)
+			for h := range p.Counts {
+				e.postings[h] = append(e.postings[h], id)
+			}
+		}
+	}
+	return e
+}
+
+// NumIndexed returns how many columns the engine indexed.
+func (e *Engine) NumIndexed() int { return len(e.columns) }
+
+// overlaps computes the exact intersection size between the query
+// column's distinct values and every indexed column sharing at least
+// one value.
+func (e *Engine) overlaps(q *table.ColumnProfile, exclude int) map[int32]int {
+	counts := make(map[int32]int)
+	for h := range q.Counts {
+		for _, id := range e.postings[h] {
+			if exclude >= 0 && e.columns[id].Table == exclude {
+				continue
+			}
+			counts[id]++
+		}
+	}
+	return counts
+}
+
+// TopKJoinable returns the k corpus columns with the largest exact
+// value overlap with the query column (JOSIE's top-k overlap set
+// similarity search). excludeTable removes a corpus table from the
+// results (pass the query's own index when querying corpus members,
+// or -1). Ties break toward higher Jaccard, then lower ids.
+func (e *Engine) TopKJoinable(query *table.Table, col, k, excludeTable int) []Result {
+	q := query.Profile(col)
+	if q.Distinct == 0 || k <= 0 {
+		return nil
+	}
+	counts := e.overlaps(q, excludeTable)
+	out := make([]Result, 0, len(counts))
+	for id, inter := range counts {
+		out = append(out, e.result(id, q, inter))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Overlap != out[j].Overlap {
+			return out[i].Overlap > out[j].Overlap
+		}
+		if out[i].Jaccard != out[j].Jaccard {
+			return out[i].Jaccard > out[j].Jaccard
+		}
+		if out[i].Ref.Table != out[j].Ref.Table {
+			return out[i].Ref.Table < out[j].Ref.Table
+		}
+		return out[i].Ref.Column < out[j].Ref.Column
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// JoinableFor returns all corpus columns whose Jaccard similarity with
+// the query column is at least minJaccard (the paper's thresholded
+// search), sorted by Jaccard descending.
+func (e *Engine) JoinableFor(query *table.Table, col int, minJaccard float64, excludeTable int) []Result {
+	q := query.Profile(col)
+	if q.Distinct == 0 {
+		return nil
+	}
+	counts := e.overlaps(q, excludeTable)
+	var out []Result
+	for id, inter := range counts {
+		r := e.result(id, q, inter)
+		if r.Jaccard >= minJaccard {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Jaccard != out[j].Jaccard {
+			return out[i].Jaccard > out[j].Jaccard
+		}
+		if out[i].Ref.Table != out[j].Ref.Table {
+			return out[i].Ref.Table < out[j].Ref.Table
+		}
+		return out[i].Ref.Column < out[j].Ref.Column
+	})
+	return out
+}
+
+func (e *Engine) result(id int32, q *table.ColumnProfile, inter int) Result {
+	union := q.Distinct + e.distinct[id] - inter
+	r := Result{Ref: e.columns[id], Overlap: inter}
+	if union > 0 {
+		r.Jaccard = float64(inter) / float64(union)
+	}
+	if q.Distinct > 0 {
+		r.Containment = float64(inter) / float64(q.Distinct)
+	}
+	return r
+}
+
+// UnionableFor returns the corpus tables sharing the query table's
+// exact schema (column names and broad types, in order).
+func (e *Engine) UnionableFor(query *table.Table, excludeTable int) []int {
+	key := query.SchemaKey()
+	var out []int
+	for ti, t := range e.tables {
+		if ti == excludeTable {
+			continue
+		}
+		if t.NumCols() > 0 && t.SchemaKey() == key {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// MinUniqueDefault re-exports the paper's distinct-value filter for
+// convenience.
+const MinUniqueDefault = join.DefaultMinUnique

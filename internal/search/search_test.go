@@ -1,0 +1,209 @@
+package search
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"ogdp/internal/join"
+	"ogdp/internal/table"
+)
+
+// corpus: tables with controlled overlap against a query id column
+// covering 1..30.
+func buildCorpus() []*table.Table {
+	mk := func(name string, from, to int) *table.Table {
+		t := table.New(name, []string{"id", "payload"})
+		for i := from; i <= to; i++ {
+			t.AppendRow([]string{strconv.Itoa(i), name})
+		}
+		return t
+	}
+	return []*table.Table{
+		mk("full.csv", 1, 30),    // overlap 30
+		mk("most.csv", 4, 30),    // overlap 27
+		mk("half.csv", 16, 45),   // overlap 15
+		mk("none.csv", 100, 140), // overlap 0
+	}
+}
+
+func queryTable() *table.Table {
+	t := table.New("query.csv", []string{"id"})
+	for i := 1; i <= 30; i++ {
+		t.AppendRow([]string{strconv.Itoa(i)})
+	}
+	return t
+}
+
+func TestTopKJoinable(t *testing.T) {
+	corpus := buildCorpus()
+	e := New(corpus, MinUniqueDefault)
+	q := queryTable()
+
+	res := e.TopKJoinable(q, 0, 2, -1)
+	if len(res) != 2 {
+		t.Fatalf("top-2 = %d results", len(res))
+	}
+	if res[0].Ref.Table != 0 || res[0].Overlap != 30 {
+		t.Errorf("top result = %+v, want full.csv overlap 30", res[0])
+	}
+	if res[1].Ref.Table != 1 || res[1].Overlap != 27 {
+		t.Errorf("second result = %+v, want most.csv overlap 27", res[1])
+	}
+	if res[0].Jaccard != 1.0 || res[0].Containment != 1.0 {
+		t.Errorf("full overlap metrics: %+v", res[0])
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	corpus := buildCorpus()
+	e := New(corpus, MinUniqueDefault)
+	res := e.TopKJoinable(queryTable(), 0, 10, -1)
+	for i := 1; i < len(res); i++ {
+		if res[i].Overlap > res[i-1].Overlap {
+			t.Fatalf("results not sorted by overlap: %+v", res)
+		}
+	}
+	// none.csv shares no values and must be absent.
+	for _, r := range res {
+		if r.Ref.Table == 3 {
+			t.Error("zero-overlap column returned")
+		}
+	}
+}
+
+func TestJoinableForThreshold(t *testing.T) {
+	corpus := buildCorpus()
+	e := New(corpus, MinUniqueDefault)
+	q := queryTable()
+
+	res := e.JoinableFor(q, 0, 0.9, -1)
+	if len(res) != 2 { // full (1.0) and most (27/33 = 0.818... no!)
+		// 27 shared of |Q|=30, |C|=27 -> union 30 -> J = 0.9 exactly.
+		t.Fatalf("threshold results = %+v", res)
+	}
+	if res[0].Jaccard < res[1].Jaccard {
+		t.Error("not sorted by Jaccard")
+	}
+}
+
+// TestAgreesWithJoinFind: searching each corpus column must recover
+// exactly the pairs join.Find reports.
+func TestAgreesWithJoinFind(t *testing.T) {
+	var corpus []*table.Table
+	for i := 0; i < 8; i++ {
+		tb := table.New(fmt.Sprintf("t%d.csv", i), []string{"id"})
+		base := (i % 3) * 2
+		for r := 0; r < 40; r++ {
+			tb.AppendRow([]string{strconv.Itoa(base + r)})
+		}
+		corpus = append(corpus, tb)
+	}
+	want := map[[4]int]bool{}
+	for _, p := range join.Find(corpus, join.Options{}).Pairs {
+		want[[4]int{p.T1, p.C1, p.T2, p.C2}] = true
+	}
+	e := New(corpus, MinUniqueDefault)
+	got := map[[4]int]bool{}
+	for ti, tb := range corpus {
+		for _, r := range e.JoinableFor(tb, 0, join.DefaultMinJaccard, ti) {
+			a := [4]int{ti, 0, r.Ref.Table, r.Ref.Column}
+			if a[2] < a[0] {
+				a = [4]int{a[2], a[3], a[0], a[1]}
+			}
+			got[a] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("search found %d pairs, join.Find %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("pair %v missed by search", k)
+		}
+	}
+}
+
+func TestMinUniqueFilterApplied(t *testing.T) {
+	small := table.New("small.csv", []string{"flag"})
+	for i := 0; i < 20; i++ {
+		small.AppendRow([]string{strconv.Itoa(i % 2)})
+	}
+	e := New([]*table.Table{small}, MinUniqueDefault)
+	if e.NumIndexed() != 0 {
+		t.Errorf("low-cardinality column indexed: %d", e.NumIndexed())
+	}
+	e2 := New([]*table.Table{small}, 0)
+	if e2.NumIndexed() != 1 {
+		t.Errorf("filter disabled but column not indexed")
+	}
+}
+
+func TestExcludeTable(t *testing.T) {
+	corpus := buildCorpus()
+	e := New(corpus, MinUniqueDefault)
+	res := e.TopKJoinable(corpus[0], 0, 10, 0)
+	for _, r := range res {
+		if r.Ref.Table == 0 {
+			t.Error("excluded table returned")
+		}
+	}
+}
+
+func TestUnionableFor(t *testing.T) {
+	a := table.FromRows("a.csv", []string{"year", "value"}, [][]string{{"2020", "1.5"}})
+	b := table.FromRows("b.csv", []string{"year", "value"}, [][]string{{"1999", "2.5"}})
+	c := table.FromRows("c.csv", []string{"year", "name"}, [][]string{{"2020", "x"}})
+	e := New([]*table.Table{a, b, c}, 0)
+	got := e.UnionableFor(a, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("UnionableFor = %v", got)
+	}
+	q := table.FromRows("ext.csv", []string{"year", "value"}, [][]string{{"1901", "7.5"}})
+	if got := e.UnionableFor(q, -1); len(got) != 2 {
+		t.Errorf("external query unionable = %v", got)
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	e := New(buildCorpus(), MinUniqueDefault)
+	empty := table.New("e.csv", []string{"id"})
+	if res := e.TopKJoinable(empty, 0, 5, -1); res != nil {
+		t.Errorf("empty query returned %v", res)
+	}
+	if res := e.JoinableFor(empty, 0, 0.5, -1); res != nil {
+		t.Errorf("empty query returned %v", res)
+	}
+}
+
+func BenchmarkTopKJoinable(b *testing.B) {
+	var corpus []*table.Table
+	for i := 0; i < 200; i++ {
+		tb := table.New(fmt.Sprintf("t%d.csv", i), []string{"id", "state"})
+		for r := 0; r < 200; r++ {
+			tb.AppendRow([]string{strconv.Itoa(r + i*3), fmt.Sprintf("state-%d", (r+i)%40)})
+		}
+		corpus = append(corpus, tb)
+	}
+	e := New(corpus, MinUniqueDefault)
+	q := corpus[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TopKJoinable(q, 0, 10, 0)
+	}
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	var corpus []*table.Table
+	for i := 0; i < 100; i++ {
+		tb := table.New(fmt.Sprintf("t%d.csv", i), []string{"id"})
+		for r := 0; r < 300; r++ {
+			tb.AppendRow([]string{strconv.Itoa(r + i)})
+		}
+		corpus = append(corpus, tb)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(corpus, MinUniqueDefault)
+	}
+}

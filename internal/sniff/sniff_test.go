@@ -1,0 +1,137 @@
+package sniff
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectMagicBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want Format
+	}{
+		{"pdf", []byte("%PDF-1.7 blah"), FormatPDF},
+		{"zip", []byte("PK\x03\x04somezipdata"), FormatZIP},
+		{"xlsx", []byte("PK\x03\x04...[Content_Types].xml..."), FormatXLSX},
+		{"empty", nil, FormatEmpty},
+		{"whitespace only", []byte("   \n\t  "), FormatEmpty},
+	}
+	for _, c := range cases {
+		if got := Detect(c.data); got != c.want {
+			t.Errorf("%s: Detect = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDetectGzip(t *testing.T) {
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	w.Write([]byte("a,b\n1,2\n"))
+	w.Close()
+	if got := Detect(buf.Bytes()); got != FormatGZIP {
+		t.Errorf("Detect(gzip) = %v", got)
+	}
+}
+
+func TestDetectMarkup(t *testing.T) {
+	cases := []struct {
+		data string
+		want Format
+	}{
+		{"<!DOCTYPE html><html><body>404</body></html>", FormatHTML},
+		{"<html><head><title>err</title></head></html>", FormatHTML},
+		{"  \n<HTML>upper</HTML>", FormatHTML},
+		{`<?xml version="1.0"?><root/>`, FormatXML},
+		{`{"key": "value"}`, FormatJSON},
+		{`[{"a": 1}, {"a": 2}]`, FormatJSON},
+		{`[1, 2, 3]`, FormatJSON},
+	}
+	for _, c := range cases {
+		if got := Detect([]byte(c.data)); got != c.want {
+			t.Errorf("Detect(%q) = %v, want %v", c.data[:min(20, len(c.data))], got, c.want)
+		}
+	}
+}
+
+func TestDetectCSV(t *testing.T) {
+	csv := "id,name,province\n1,Waterloo,ON\n2,Toronto,ON\n3,Montreal,QC\n"
+	if got := Detect([]byte(csv)); got != FormatCSV {
+		t.Errorf("Detect(csv) = %v", got)
+	}
+	quoted := "id,desc\n1,\"hello, world\"\n2,\"a,b,c\"\n"
+	if got := Detect([]byte(quoted)); got != FormatCSV {
+		t.Errorf("Detect(quoted csv) = %v", got)
+	}
+	tsv := "id\tname\n1\talpha\n2\tbeta\n"
+	if got := Detect([]byte(tsv)); got != FormatTSV {
+		t.Errorf("Detect(tsv) = %v", got)
+	}
+	single := "name\nalpha\nbeta\ngamma\n"
+	if got := Detect([]byte(single)); got != FormatCSV {
+		t.Errorf("Detect(single column) = %v", got)
+	}
+}
+
+func TestDetectBinary(t *testing.T) {
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i % 7) // includes NULs and control chars
+	}
+	if got := Detect(data); got != FormatBinary {
+		t.Errorf("Detect(binary) = %v", got)
+	}
+}
+
+func TestIsTabular(t *testing.T) {
+	if !FormatCSV.IsTabular() || !FormatTSV.IsTabular() {
+		t.Error("CSV/TSV must be tabular")
+	}
+	if FormatHTML.IsTabular() || FormatPDF.IsTabular() {
+		t.Error("HTML/PDF must not be tabular")
+	}
+}
+
+func TestDetectLargeInputTruncated(t *testing.T) {
+	// A valid CSV much larger than the sniff limit must still detect;
+	// the truncated final line must not confuse the detector.
+	var b strings.Builder
+	b.WriteString("a,b,c\n")
+	for i := 0; i < 20000; i++ {
+		b.WriteString("1,2,3\n")
+	}
+	if got := Detect([]byte(b.String())); got != FormatCSV {
+		t.Errorf("Detect(large csv) = %v", got)
+	}
+}
+
+func TestDetectNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_ = Detect(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	for f := FormatUnknown; f <= FormatBinary; f++ {
+		if f.String() == "invalid" {
+			t.Errorf("Format(%d) has no name", f)
+		}
+	}
+	if Format(99).String() != "invalid" {
+		t.Error("out-of-range format should be invalid")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,302 @@
+// Package stats provides the descriptive statistics used by the study:
+// means, medians, percentiles, histograms, and letter-value summaries
+// (the boxen-plot statistic behind Figure 8 of the paper).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	Sum    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted. It
+// returns 0 for an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile on an already-sorted sample.
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentiles computes several percentiles in one pass over a single
+// sorted copy. ps are percentile ranks in 0..100.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// Median is Percentile(xs, 50).
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MedianInts returns the median of an integer sample as a float.
+func MedianInts(xs []int) float64 {
+	return Median(Floats(xs))
+}
+
+// Floats converts an integer sample to float64s.
+func Floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Floats64 converts an int64 sample to float64s.
+func Floats64(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF: Frac of the sample is
+// <= Value.
+type CDFPoint struct {
+	Value float64
+	Frac  float64
+}
+
+// CDF returns the empirical CDF of xs evaluated at each distinct value.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Emit at the last occurrence of each distinct value.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		out = append(out, CDFPoint{Value: sorted[i], Frac: float64(i+1) / n})
+	}
+	return out
+}
+
+// FracAtMost returns the fraction of the sample that is <= v.
+func FracAtMost(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FracAtLeast returns the fraction of the sample that is >= v.
+func FracAtLeast(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Bucket is one histogram bucket covering [Lo, Hi).
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram bins xs into the buckets delimited by bounds. A value x
+// falls into bucket i when bounds[i] <= x < bounds[i+1]; values below
+// bounds[0] and at or above bounds[len-1] are clamped into the first
+// and last bucket respectively.
+func Histogram(xs []float64, bounds []float64) []Bucket {
+	if len(bounds) < 2 {
+		return nil
+	}
+	buckets := make([]Bucket, len(bounds)-1)
+	for i := range buckets {
+		buckets[i].Lo = bounds[i]
+		buckets[i].Hi = bounds[i+1]
+	}
+	for _, x := range xs {
+		i := sort.SearchFloat64s(bounds, x)
+		// SearchFloat64s returns the insertion point; adjust to bucket index.
+		if i < len(bounds) && bounds[i] == x {
+			// x equals a bound: belongs to the bucket starting at that bound.
+		} else {
+			i--
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i > len(buckets)-1 {
+			i = len(buckets) - 1
+		}
+		buckets[i].Count++
+	}
+	return buckets
+}
+
+// LogBounds returns bucket bounds 0, 1, 10, 100, ... up to the first
+// power of ten >= max (at least maxExp decades).
+func LogBounds(max float64) []float64 {
+	bounds := []float64{0, 1}
+	v := 1.0
+	for v < max {
+		v *= 10
+		bounds = append(bounds, v)
+	}
+	return bounds
+}
+
+// LetterValues is the letter-value summary used by boxen plots
+// (Figure 8): the median plus successive "letter" quantile pairs at
+// depths 1/4, 1/8, 1/16, ... from each tail.
+type LetterValues struct {
+	Median float64
+	// Pairs[i] holds the lower and upper letter values at depth
+	// 1/2^(i+2): Pairs[0] is the quartile box, Pairs[1] the eighths,
+	// and so on.
+	Pairs [][2]float64
+}
+
+// LetterValueSummary computes letter values down to boxes that would
+// contain fewer than minBox points (minBox defaults to 5 when <= 0).
+func LetterValueSummary(xs []float64, minBox int) LetterValues {
+	if minBox <= 0 {
+		minBox = 5
+	}
+	lv := LetterValues{}
+	if len(xs) == 0 {
+		return lv
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	lv.Median = percentileSorted(sorted, 50)
+	depth := 0.25
+	for float64(len(sorted))*depth >= float64(minBox) && depth > 1e-9 {
+		lo := percentileSorted(sorted, depth*100)
+		hi := percentileSorted(sorted, (1-depth)*100)
+		lv.Pairs = append(lv.Pairs, [2]float64{lo, hi})
+		depth /= 2
+	}
+	return lv
+}
+
+// Quartiles returns the 25th, 50th and 75th percentiles.
+func Quartiles(xs []float64) (q1, q2, q3 float64) {
+	qs := Percentiles(xs, 25, 50, 75)
+	return qs[0], qs[1], qs[2]
+}
+
+// FormatCount renders n with SI-style suffixes the way the paper's
+// tables do (e.g. 4.2K, 1.9M, 409.2M).
+func FormatCount(n float64) string {
+	abs := math.Abs(n)
+	switch {
+	case abs >= 1e9:
+		return trimZero(fmt.Sprintf("%.1fB", n/1e9))
+	case abs >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", n/1e6))
+	case abs >= 1e3:
+		return trimZero(fmt.Sprintf("%.1fK", n/1e3))
+	default:
+		if n == math.Trunc(n) {
+			return fmt.Sprintf("%.0f", n)
+		}
+		return fmt.Sprintf("%.2f", n)
+	}
+}
+
+func trimZero(s string) string {
+	if i := len(s) - 1; i > 2 && s[i-2] == '.' && s[i-1] == '0' {
+		return s[:i-2] + s[i:]
+	}
+	return s
+}

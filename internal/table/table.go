@@ -1,0 +1,298 @@
+// Package table implements the in-memory relational table model the
+// study operates on: columnar string storage with lazily computed,
+// cached column profiles (inferred type, null ratio, distinct values,
+// uniqueness score) and the projection/hashing primitives used by key
+// discovery, functional dependency mining, and join analysis.
+package table
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"ogdp/internal/values"
+)
+
+// Table is a named relational table. Values are stored column-major as
+// raw CSV strings; nulls are any value for which values.IsNull is true.
+type Table struct {
+	// Name identifies the table (typically the resource file name).
+	Name string
+	// DatasetID is the identifier of the CKAN dataset the table was
+	// published under; empty when the table is free-standing.
+	DatasetID string
+	// Cols holds the column names, in order.
+	Cols []string
+	// Data holds the cell values: Data[c][r] is row r of column c.
+	// All columns have the same length.
+	Data [][]string
+
+	profiles []*ColumnProfile // lazily built, indexed like Cols
+}
+
+// New creates an empty table with the given column names.
+func New(name string, cols []string) *Table {
+	t := &Table{Name: name, Cols: append([]string(nil), cols...)}
+	t.Data = make([][]string, len(cols))
+	return t
+}
+
+// FromRows builds a table from row-major data. Short rows are padded
+// with empty strings; long rows are truncated to the header width.
+func FromRows(name string, cols []string, rows [][]string) *Table {
+	t := New(name, cols)
+	for c := range t.Data {
+		t.Data[c] = make([]string, len(rows))
+	}
+	for r, row := range rows {
+		for c := 0; c < len(cols); c++ {
+			if c < len(row) {
+				t.Data[c][r] = row[c]
+			}
+		}
+	}
+	return t
+}
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return len(t.Data[0])
+}
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// AppendRow adds one tuple. The row must have exactly NumCols values.
+func (t *Table) AppendRow(row []string) {
+	if len(row) != len(t.Cols) {
+		panic(fmt.Sprintf("table %s: AppendRow got %d values, want %d", t.Name, len(row), len(t.Cols)))
+	}
+	for c, v := range row {
+		t.Data[c] = append(t.Data[c], v)
+	}
+	t.profiles = nil
+}
+
+// Column returns the values of column c.
+func (t *Table) Column(c int) []string { return t.Data[c] }
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, n := range t.Cols {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row materializes row r (a fresh slice).
+func (t *Table) Row(r int) []string {
+	row := make([]string, len(t.Cols))
+	for c := range t.Cols {
+		row[c] = t.Data[c][r]
+	}
+	return row
+}
+
+// Rows materializes all rows (fresh slices); intended for tests and
+// small tables.
+func (t *Table) Rows() [][]string {
+	rows := make([][]string, t.NumRows())
+	for r := range rows {
+		rows[r] = t.Row(r)
+	}
+	return rows
+}
+
+// Project returns a new table with only the given column indices, in
+// the given order. Data slices are shared with the receiver.
+func (t *Table) Project(cols []int) *Table {
+	p := &Table{Name: t.Name, DatasetID: t.DatasetID}
+	for _, c := range cols {
+		p.Cols = append(p.Cols, t.Cols[c])
+		p.Data = append(p.Data, t.Data[c])
+	}
+	return p
+}
+
+// Clone returns a deep copy of the table (excluding cached profiles).
+func (t *Table) Clone() *Table {
+	c := &Table{Name: t.Name, DatasetID: t.DatasetID, Cols: append([]string(nil), t.Cols...)}
+	c.Data = make([][]string, len(t.Data))
+	for i, col := range t.Data {
+		c.Data[i] = append([]string(nil), col...)
+	}
+	return c
+}
+
+// ColumnProfile is the cached per-column profile used throughout the
+// study.
+type ColumnProfile struct {
+	Name     string
+	Type     values.ColumnType
+	NumRows  int
+	Nulls    int            // count of null cells
+	Distinct int            // count of distinct non-null values
+	Counts   map[uint64]int // hashed non-null value -> multiplicity
+}
+
+// NullRatio is the fraction of cells that are null.
+func (p *ColumnProfile) NullRatio() float64 {
+	if p.NumRows == 0 {
+		return 0
+	}
+	return float64(p.Nulls) / float64(p.NumRows)
+}
+
+// Uniqueness is the paper's uniqueness score |set(c)| / |c|: distinct
+// non-null values over total rows. A score of 1.0 with no nulls means
+// the column is a key.
+func (p *ColumnProfile) Uniqueness() float64 {
+	if p.NumRows == 0 {
+		return 0
+	}
+	return float64(p.Distinct) / float64(p.NumRows)
+}
+
+// IsKey reports whether the column is a single-column key: every row
+// has a distinct non-null value.
+func (p *ColumnProfile) IsKey() bool {
+	return p.NumRows > 0 && p.Nulls == 0 && p.Distinct == p.NumRows
+}
+
+// HashValue hashes a cell value the way ColumnProfile.Counts does.
+func HashValue(v string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(v))
+	return h.Sum64()
+}
+
+// Profile returns the cached profile of column c, computing all column
+// profiles on first use.
+func (t *Table) Profile(c int) *ColumnProfile {
+	if t.profiles == nil {
+		t.profiles = make([]*ColumnProfile, len(t.Cols))
+	}
+	if t.profiles[c] == nil {
+		t.profiles[c] = profileColumn(t.Cols[c], t.Data[c])
+	}
+	return t.profiles[c]
+}
+
+// Profiles returns profiles for every column.
+func (t *Table) Profiles() []*ColumnProfile {
+	out := make([]*ColumnProfile, len(t.Cols))
+	for c := range t.Cols {
+		out[c] = t.Profile(c)
+	}
+	return out
+}
+
+func profileColumn(name string, col []string) *ColumnProfile {
+	p := &ColumnProfile{
+		Name:    name,
+		NumRows: len(col),
+		Counts:  make(map[uint64]int),
+	}
+	for _, v := range col {
+		if values.IsNull(v) {
+			p.Nulls++
+			continue
+		}
+		p.Counts[HashValue(v)]++
+	}
+	p.Distinct = len(p.Counts)
+	p.Type = values.Infer(col)
+	return p
+}
+
+// InvalidateProfiles drops cached column profiles; call after mutating
+// Data directly.
+func (t *Table) InvalidateProfiles() { t.profiles = nil }
+
+// SchemaKey returns the canonical schema identity used for the
+// unionability analysis (§6): the ordered, case-folded column names
+// joined with the columns' broad type classes. Two tables are
+// unionable exactly when their SchemaKeys are equal.
+func (t *Table) SchemaKey() string {
+	var b strings.Builder
+	for c, name := range t.Cols {
+		if c > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(strings.ToLower(strings.TrimSpace(name)))
+		b.WriteByte('\x1e')
+		b.WriteString(t.Profile(c).Type.BroadClass())
+	}
+	return b.String()
+}
+
+// RowHashes returns one 64-bit hash per row over the given column
+// subset, suitable for distinct counting. Null cells hash as a
+// reserved sentinel so that rows with nulls still compare consistently.
+func (t *Table) RowHashes(cols []int) []uint64 {
+	n := t.NumRows()
+	hashes := make([]uint64, n)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	for r := 0; r < n; r++ {
+		var h uint64 = offset64
+		for _, c := range cols {
+			v := t.Data[c][r]
+			if values.IsNull(v) {
+				// All null spellings hash identically, matching the
+				// single-column profile's null bucket.
+				h ^= 0x01
+				h *= prime64
+			} else {
+				for i := 0; i < len(v); i++ {
+					h ^= uint64(v[i])
+					h *= prime64
+				}
+			}
+			h ^= 0x1f // field separator
+			h *= prime64
+		}
+		hashes[r] = h
+	}
+	return hashes
+}
+
+// DistinctCount returns the number of distinct tuples in the projection
+// of the table onto cols. With an empty projection it returns 1 when
+// the table has rows (the empty tuple) and 0 otherwise.
+func (t *Table) DistinctCount(cols []int) int {
+	if len(cols) == 0 {
+		if t.NumRows() > 0 {
+			return 1
+		}
+		return 0
+	}
+	if len(cols) == 1 {
+		// Use the cached profile; count nulls as one extra distinct
+		// value when present, matching tuple semantics where null cells
+		// are a distinguishable value.
+		p := t.Profile(cols[0])
+		d := p.Distinct
+		if p.Nulls > 0 {
+			d++
+		}
+		return d
+	}
+	seen := make(map[uint64]struct{}, t.NumRows())
+	for _, h := range t.RowHashes(cols) {
+		seen[h] = struct{}{}
+	}
+	return len(seen)
+}
+
+// String returns a short description, e.g. "awards.csv (5 cols × 120 rows)".
+func (t *Table) String() string {
+	return fmt.Sprintf("%s (%d cols × %d rows)", t.Name, t.NumCols(), t.NumRows())
+}

@@ -1,0 +1,220 @@
+package union
+
+import (
+	"sort"
+	"strings"
+
+	"ogdp/internal/table"
+)
+
+// FuzzyOptions tunes FindFuzzy.
+type FuzzyOptions struct {
+	// MinColumnScore is the minimum name-similarity for two columns to
+	// be considered a match (q-gram Jaccard; 1.0 = identical names).
+	// Defaults to 0.55.
+	MinColumnScore float64
+	// MinMatchedFrac is the fraction of the wider schema that must be
+	// matched. Defaults to 0.8.
+	MinMatchedFrac float64
+}
+
+func (o FuzzyOptions) withDefaults() FuzzyOptions {
+	if o.MinColumnScore == 0 {
+		o.MinColumnScore = 0.55
+	}
+	if o.MinMatchedFrac == 0 {
+		o.MinMatchedFrac = 0.8
+	}
+	return o
+}
+
+// ColumnMatch aligns a column of T1 with a column of T2.
+type ColumnMatch struct {
+	C1, C2 int
+	Score  float64
+}
+
+// FuzzyPair is a pair of tables unionable under approximate schema
+// matching: column names may differ in spelling or order, but most
+// columns align by q-gram name similarity with compatible broad types.
+// This implements the relaxed unionability of the systems the paper
+// cites ([7], [26]) — the paper itself uses exact schema identity
+// (Find), and contrasting the two shows what the relaxation buys.
+type FuzzyPair struct {
+	T1, T2  int
+	Matches []ColumnMatch
+	// Score is the mean matched-column similarity.
+	Score float64
+}
+
+// FindFuzzy reports table pairs whose schemas align approximately.
+// Exact-identity pairs (already reported by Find) are included too;
+// callers can subtract them to see the relaxation's net gain.
+func FindFuzzy(tables []*table.Table, opts FuzzyOptions) []FuzzyPair {
+	opts = opts.withDefaults()
+
+	// Blocking: candidate pairs must share at least one exact
+	// normalized column name and have compatible widths.
+	byName := map[string][]int{}
+	for ti, t := range tables {
+		seen := map[string]bool{}
+		for _, c := range t.Cols {
+			n := normalizeName(c)
+			if n == "" || seen[n] {
+				continue
+			}
+			seen[n] = true
+			byName[n] = append(byName[n], ti)
+		}
+	}
+	cand := map[[2]int]bool{}
+	for _, ids := range byName {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				na, nb := tables[a].NumCols(), tables[b].NumCols()
+				if na == 0 || nb == 0 {
+					continue
+				}
+				if 5*min(na, nb) < 4*max(na, nb) { // width ratio < 0.8
+					continue
+				}
+				cand[[2]int{a, b}] = true
+			}
+		}
+	}
+
+	var out []FuzzyPair
+	for pair := range cand {
+		if fp, ok := matchSchemas(tables[pair[0]], tables[pair[1]], opts); ok {
+			fp.T1, fp.T2 = pair[0], pair[1]
+			out = append(out, fp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T1 != out[j].T1 {
+			return out[i].T1 < out[j].T1
+		}
+		return out[i].T2 < out[j].T2
+	})
+	return out
+}
+
+// matchSchemas greedily aligns columns by name similarity, requiring
+// compatible broad types.
+func matchSchemas(a, b *table.Table, opts FuzzyOptions) (FuzzyPair, bool) {
+	type cell struct {
+		c1, c2 int
+		score  float64
+	}
+	var cells []cell
+	for i := range a.Cols {
+		for j := range b.Cols {
+			if a.Profile(i).Type.BroadClass() != b.Profile(j).Type.BroadClass() {
+				continue
+			}
+			s := nameSimilarity(a.Cols[i], b.Cols[j])
+			if s >= opts.MinColumnScore {
+				cells = append(cells, cell{i, j, s})
+			}
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].score != cells[j].score {
+			return cells[i].score > cells[j].score
+		}
+		if cells[i].c1 != cells[j].c1 {
+			return cells[i].c1 < cells[j].c1
+		}
+		return cells[i].c2 < cells[j].c2
+	})
+	used1 := map[int]bool{}
+	used2 := map[int]bool{}
+	var fp FuzzyPair
+	var sum float64
+	for _, c := range cells {
+		if used1[c.c1] || used2[c.c2] {
+			continue
+		}
+		used1[c.c1] = true
+		used2[c.c2] = true
+		fp.Matches = append(fp.Matches, ColumnMatch{C1: c.c1, C2: c.c2, Score: c.score})
+		sum += c.score
+	}
+	wider := max(a.NumCols(), b.NumCols())
+	if wider == 0 || float64(len(fp.Matches)) < opts.MinMatchedFrac*float64(wider) {
+		return fp, false
+	}
+	fp.Score = sum / float64(len(fp.Matches))
+	return fp, true
+}
+
+// nameSimilarity is the Jaccard similarity of 3-gram sets of the
+// normalized names, with fast paths for equality and containment.
+func nameSimilarity(a, b string) float64 {
+	na, nb := normalizeName(a), normalizeName(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	if na == nb {
+		return 1
+	}
+	// Containment (prov vs province): a strong signal on its own, so
+	// score well above the bare length ratio.
+	if strings.HasPrefix(na, nb) || strings.HasPrefix(nb, na) {
+		shorter, longer := na, nb
+		if len(shorter) > len(longer) {
+			shorter, longer = longer, shorter
+		}
+		if len(shorter) >= 3 {
+			return 0.5 + 0.5*float64(len(shorter))/float64(len(longer))
+		}
+	}
+	ga, gb := qgrams(na), qgrams(nb)
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ga {
+		if _, ok := gb[g]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(ga)+len(gb)-inter)
+}
+
+func normalizeName(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func qgrams(s string) map[string]struct{} {
+	out := map[string]struct{}{}
+	if len(s) < 3 {
+		out[s] = struct{}{}
+		return out
+	}
+	for i := 0; i+3 <= len(s); i++ {
+		out[s[i:i+3]] = struct{}{}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

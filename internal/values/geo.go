@@ -1,0 +1,59 @@
+package values
+
+import (
+	"strconv"
+	"strings"
+)
+
+// IsGeo reports whether s looks like a geo-spatial value. The study
+// recognizes the spellings that occur in OGDP CSVs:
+//
+//   - "lat, lon" / "lat lon" coordinate pairs with plausible ranges,
+//     e.g. "43.4723, -80.5449"
+//   - WKT geometry fragments, e.g. "POINT (-80.54 43.47)"
+//   - GeoJSON-ish fragments beginning with {"type": "Point"
+//   - Parenthesized pairs, e.g. "(43.4723, -80.5449)"
+func IsGeo(s string) bool {
+	s = strings.TrimSpace(s)
+	if len(s) < 4 {
+		return false
+	}
+	upper := strings.ToUpper(s)
+	for _, prefix := range []string{"POINT", "POLYGON", "LINESTRING", "MULTIPOINT", "MULTIPOLYGON", "MULTILINESTRING"} {
+		if strings.HasPrefix(upper, prefix) {
+			rest := strings.TrimSpace(s[len(prefix):])
+			return strings.HasPrefix(rest, "(")
+		}
+	}
+	if strings.HasPrefix(s, "{") && strings.Contains(s, `"type"`) && strings.Contains(s, `"coordinates"`) {
+		return true
+	}
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	return isCoordPair(s)
+}
+
+// isCoordPair reports whether s is "a, b" or "a b" with a in [-90, 90]
+// and b in [-180, 180], at least one of them fractional (to avoid
+// classifying small integer pairs as coordinates).
+func isCoordPair(s string) bool {
+	var parts []string
+	if strings.ContainsRune(s, ',') {
+		parts = strings.SplitN(s, ",", 3)
+	} else {
+		parts = strings.Fields(s)
+	}
+	if len(parts) != 2 {
+		return false
+	}
+	a, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	b, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	if a < -90 || a > 90 || b < -180 || b > 180 {
+		return false
+	}
+	return strings.ContainsRune(parts[0], '.') || strings.ContainsRune(parts[1], '.')
+}

@@ -1,0 +1,131 @@
+package values
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+func TestInferWithOptions(t *testing.T) {
+	// Lower dominance: a column that is 80% integers types as integer
+	// only when the threshold allows.
+	vals := []string{"3", "90", "417", "1200", "77", "5012", "8", "666", "oops", "huh"}
+	if got := InferWith(vals, InferOptions{}); got == ColInt {
+		t.Error("default dominance 0.95 should reject 80% integers")
+	}
+	if got := InferWith(vals, InferOptions{Dominance: 0.75}); got != ColInt {
+		t.Errorf("dominance 0.75: got %v, want integer", got)
+	}
+
+	// Incremental slack: a sequence with one gap per ten values.
+	var sparse []string
+	for i := 0; i < 50; i++ {
+		sparse = append(sparse, strconv.Itoa(i+i/10)) // skips every 11th value
+	}
+	if got := InferWith(sparse, InferOptions{}); got != ColInt {
+		t.Errorf("default slack: got %v, want plain integer", got)
+	}
+	if got := InferWith(sparse, InferOptions{IncrementalSlack: 1.2}); got != ColIncrementalInt {
+		t.Errorf("slack 1.2: got %v, want incremental", got)
+	}
+}
+
+func TestInferLookupCategorical(t *testing.T) {
+	// One row per value over a small vocabulary: categorical even with
+	// uniqueness 1.0 (closed-domain lookup table).
+	var vals []string
+	for i := 0; i < 30; i++ {
+		vals = append(vals, fmt.Sprintf("Species %02d", i))
+	}
+	if got := Infer(vals); got != ColCategorical {
+		t.Errorf("lookup column typed %v, want categorical", got)
+	}
+	// Long free-form values must not qualify even at low cardinality.
+	var long []string
+	for i := 0; i < 30; i++ {
+		long = append(long, fmt.Sprintf("A considerably longer description of record number %d", i))
+	}
+	if got := Infer(long); got != ColString {
+		t.Errorf("long values typed %v, want string", got)
+	}
+	// Too many distinct values must not qualify.
+	var many []string
+	for i := 0; i < 90; i++ {
+		many = append(many, fmt.Sprintf("V%02d", i))
+	}
+	if got := Infer(many); got != ColString {
+		t.Errorf("90-value lookup typed %v, want string", got)
+	}
+}
+
+func TestTimestampLayoutsCoverage(t *testing.T) {
+	yes := []string{
+		"2021-06-30T12:00:00Z",
+		"06/30/2021 12:30",
+		"Jan 2, 2021",
+		"2 Jan 2021",
+		"January 2, 2021",
+		"02-Jan-2021",
+	}
+	for _, s := range yes {
+		if !IsTimestamp(s) {
+			t.Errorf("IsTimestamp(%q) = false", s)
+		}
+	}
+}
+
+func TestParseTimestampRejectsLongAndShort(t *testing.T) {
+	if IsTimestamp("20") {
+		t.Error("too short accepted")
+	}
+	if IsTimestamp("2020-01-01T00:00:00.000000000+00:00 extra junk") {
+		t.Error("too long accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindNull; k <= KindString; k++ {
+		if k.String() == "invalid" {
+			t.Errorf("Kind(%d) unnamed", k)
+		}
+	}
+	if Kind(99).String() != "invalid" {
+		t.Error("out-of-range kind")
+	}
+}
+
+func TestIsNumericHelper(t *testing.T) {
+	if !IsNumeric("42") || !IsNumeric("4.2") || IsNumeric("x") {
+		t.Error("IsNumeric wrong")
+	}
+}
+
+func TestValidThousandsEdges(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"1,234", true},
+		{"-1,234", true},
+		{"+12,345,678", true},
+		{"1234,5", false},
+		{",123", false},
+		{"1,23a", false},
+		{"12,3456", false},
+	}
+	for _, c := range cases {
+		_, ok := ParseInt(c.in)
+		if ok != c.ok {
+			t.Errorf("ParseInt(%q) ok=%v want %v", c.in, ok, c.ok)
+		}
+	}
+}
+
+func TestInferUnknownDominance(t *testing.T) {
+	// A half-int, half-string column is text (string), not numeric.
+	vals := []string{"1", "2", "x", "y", "1", "z"}
+	got := Infer(vals)
+	if got.BroadClass() != "text" {
+		t.Errorf("mixed column class %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package values
+
+import (
+	"strings"
+	"time"
+)
+
+// timestampLayouts are the date/time layouts the study recognizes. They
+// cover the formats that dominate OGDP CSVs: ISO dates, ISO datetimes,
+// RFC 3339, North-American and European slash dates, and month-level
+// dates such as "2006-01" used by periodically published tables.
+var timestampLayouts = []string{
+	"2006-01-02",
+	"2006-01-02 15:04:05",
+	"2006-01-02T15:04:05",
+	time.RFC3339,
+	"01/02/2006",
+	"02/01/2006",
+	"01/02/2006 15:04",
+	"2006/01/02",
+	"2006-01",
+	"Jan 2, 2006",
+	"2 Jan 2006",
+	"January 2, 2006",
+	"02-Jan-2006",
+	"20060102",
+}
+
+// IsTimestamp reports whether s parses as a date or datetime in one of
+// the recognized layouts. Bare integers are never timestamps (years such
+// as "2020" are classified as integers, matching the paper's treatment
+// of year columns as integer/incremental-integer domains).
+func IsTimestamp(s string) bool {
+	_, ok := ParseTimestamp(s)
+	return ok
+}
+
+// ParseTimestamp parses s in the first matching recognized layout.
+func ParseTimestamp(s string) (time.Time, bool) {
+	s = strings.TrimSpace(s)
+	if len(s) < 6 || len(s) > 35 {
+		return time.Time{}, false
+	}
+	// Quick reject: must contain a separator or be an 8-digit basic date.
+	if !strings.ContainsAny(s, "-/:, ") && !(len(s) == 8 && allDigits(s)) {
+		return time.Time{}, false
+	}
+	for _, layout := range timestampLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, true
+		}
+	}
+	return time.Time{}, false
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

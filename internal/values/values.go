@@ -1,0 +1,187 @@
+// Package values implements the value-level model of the OGDP study:
+// null detection, scalar parsing, and column data type inference.
+//
+// The paper (§3.3) detects nulls as empty cells plus a manual list of
+// popular null spellings. Section 5.3 classifies join columns into the
+// data types {incremental integer, integer, categorical, string,
+// timestamp, geo-spatial}; Table 4 additionally groups columns into the
+// two broad classes text and numeric. This package implements all three
+// granularities.
+package values
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NullTokens is the manual list of values treated as nulls, from §3.3 of
+// the paper: "n/a", "n/d", "nan", "null", "-", and "...". The empty
+// string (an empty CSV cell) is also a null but is checked directly.
+var NullTokens = []string{"n/a", "n/d", "nan", "null", "-", "..."}
+
+var nullSet = func() map[string]struct{} {
+	m := make(map[string]struct{}, len(NullTokens))
+	for _, t := range NullTokens {
+		m[t] = struct{}{}
+	}
+	return m
+}()
+
+// IsNull reports whether the raw CSV cell value denotes a missing value.
+// Matching is case-insensitive and ignores surrounding whitespace.
+func IsNull(s string) bool {
+	if s == "" {
+		return true
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return true
+	}
+	if len(s) > 4 { // longest token is "null"/"n/a" variants; avoids lowering long strings
+		return false
+	}
+	_, ok := nullSet[strings.ToLower(s)]
+	return ok
+}
+
+// Kind is the scalar kind of a single cell value.
+type Kind int
+
+// Scalar kinds, ordered roughly from most to least specific.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindTimestamp
+	KindGeo
+	KindString
+)
+
+var kindNames = [...]string{"null", "bool", "int", "float", "timestamp", "geo", "string"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// KindOf classifies a single raw cell value.
+func KindOf(s string) Kind {
+	if IsNull(s) {
+		return KindNull
+	}
+	s = strings.TrimSpace(s)
+	if isBool(s) {
+		return KindBool
+	}
+	if _, ok := ParseInt(s); ok {
+		return KindInt
+	}
+	if _, ok := ParseFloat(s); ok {
+		return KindFloat
+	}
+	if IsTimestamp(s) {
+		return KindTimestamp
+	}
+	if IsGeo(s) {
+		return KindGeo
+	}
+	return KindString
+}
+
+func isBool(s string) bool {
+	switch strings.ToLower(s) {
+	case "true", "false", "yes", "no", "y", "n":
+		return true
+	}
+	return false
+}
+
+// ParseInt parses s as an integer, tolerating thousands separators
+// ("1,234") and a leading sign. It reports ok=false for anything else.
+func ParseInt(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	if strings.ContainsRune(s, ',') {
+		if !validThousands(s) {
+			return 0, false
+		}
+		s = strings.ReplaceAll(s, ",", "")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// validThousands reports whether s is an integer with correctly placed
+// thousands separators, e.g. "1,234,567".
+func validThousands(s string) bool {
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		s = s[1:]
+	}
+	groups := strings.Split(s, ",")
+	if len(groups) < 2 {
+		return false
+	}
+	if len(groups[0]) == 0 || len(groups[0]) > 3 {
+		return false
+	}
+	for _, g := range groups[1:] {
+		if len(g) != 3 {
+			return false
+		}
+	}
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			if g[i] < '0' || g[i] > '9' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ParseFloat parses s as a floating point number (not an integer),
+// tolerating thousands separators and a trailing '%'.
+func ParseFloat(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	if strings.HasSuffix(s, "%") {
+		s = strings.TrimSuffix(s, "%")
+	}
+	if strings.ContainsRune(s, ',') {
+		// Only strip commas when they look like thousands separators of
+		// the integer part.
+		intPart := s
+		if i := strings.IndexByte(s, '.'); i >= 0 {
+			intPart = s[:i]
+		}
+		if !validThousands(intPart) {
+			return 0, false
+		}
+		s = strings.ReplaceAll(s, ",", "")
+	}
+	if !strings.ContainsAny(s, ".eE") {
+		return 0, false // plain integers are KindInt, not KindFloat
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// IsNumeric reports whether the value parses as an integer or a float.
+func IsNumeric(s string) bool {
+	if _, ok := ParseInt(s); ok {
+		return true
+	}
+	_, ok := ParseFloat(s)
+	return ok
+}

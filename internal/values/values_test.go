@@ -1,0 +1,265 @@
+package values
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsNull(t *testing.T) {
+	nulls := []string{"", " ", "n/a", "N/A", "n/d", "nan", "NaN", "null", "NULL", "-", "...", "  null  "}
+	for _, s := range nulls {
+		if !IsNull(s) {
+			t.Errorf("IsNull(%q) = false, want true", s)
+		}
+	}
+	notNulls := []string{"0", "na", "none", "nil", "--", "a", "n/a/b", "1.5", "None of the above"}
+	for _, s := range notNulls {
+		if IsNull(s) {
+			t.Errorf("IsNull(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+	}{
+		{"", KindNull},
+		{"n/a", KindNull},
+		{"true", KindBool},
+		{"No", KindBool},
+		{"42", KindInt},
+		{"-7", KindInt},
+		{"+13", KindInt},
+		{"1,234,567", KindInt},
+		{"3.14", KindFloat},
+		{"-0.5", KindFloat},
+		{"1e6", KindFloat},
+		{"12.5%", KindFloat},
+		{"1,234.56", KindFloat},
+		{"2021-03-15", KindTimestamp},
+		{"2021-03-15 10:30:00", KindTimestamp},
+		{"03/15/2021", KindTimestamp},
+		{"Jan 2, 2021", KindTimestamp},
+		{"2021-03", KindTimestamp},
+		{"43.4723, -80.5449", KindGeo},
+		{"POINT (-80.54 43.47)", KindGeo},
+		{"(43.4723, -80.5449)", KindGeo},
+		{"hello", KindString},
+		{"Ontario", KindString},
+		{"12 Main St", KindString},
+		{"1,23", KindString},  // malformed thousands
+		{"12,34", KindString}, // malformed thousands
+	}
+	for _, c := range cases {
+		if got := KindOf(c.in); got != c.want {
+			t.Errorf("KindOf(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseInt(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"-12", -12, true},
+		{"1,234", 1234, true},
+		{"12,345,678", 12345678, true},
+		{"1,23", 0, false},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"1.5", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseInt(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ParseInt(%q) = (%d, %v), want (%d, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseIntRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		got, ok := ParseInt(strconv.FormatInt(n, 10))
+		return ok && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseFloat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"3.14", 3.14, true},
+		{"-0.5", -0.5, true},
+		{"1e3", 1000, true},
+		{"50%", 0, false}, // "50" has no decimal point -> int territory
+		{"50.5%", 50.5, true},
+		{"1,234.5", 1234.5, true},
+		{"42", 0, false}, // plain int is not a float
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseFloat(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseFloat(%q) = (%g, %v), want (%g, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIsTimestamp(t *testing.T) {
+	yes := []string{"2020-01-31", "2020-01-31 23:59:59", "2020-01-31T23:59:59Z", "12/25/2020", "2020/01/31", "2020-07", "20200131"}
+	for _, s := range yes {
+		if !IsTimestamp(s) {
+			t.Errorf("IsTimestamp(%q) = false, want true", s)
+		}
+	}
+	no := []string{"2020", "31", "hello", "1234567", "2020-13-45", "a/b/c"}
+	for _, s := range no {
+		if IsTimestamp(s) {
+			t.Errorf("IsTimestamp(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestIsGeo(t *testing.T) {
+	yes := []string{
+		"43.4723, -80.5449",
+		"-33.8688 151.2093",
+		"POINT (-80.54 43.47)",
+		"POLYGON ((0 0, 1 0, 1 1, 0 0))",
+		"(45.5, -73.6)",
+		`{"type": "Point", "coordinates": [-80.5, 43.5]}`,
+	}
+	for _, s := range yes {
+		if !IsGeo(s) {
+			t.Errorf("IsGeo(%q) = false, want true", s)
+		}
+	}
+	no := []string{"1, 2", "100, 200", "hello, world", "99.9", "500.5, 10.2", "POINTLESS"}
+	for _, s := range no {
+		if IsGeo(s) {
+			t.Errorf("IsGeo(%q) = true, want false", s)
+		}
+	}
+}
+
+func seq(from, to int) []string {
+	out := make([]string, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, strconv.Itoa(i))
+	}
+	return out
+}
+
+func TestInferIncrementalInt(t *testing.T) {
+	if got := Infer(seq(1, 100)); got != ColIncrementalInt {
+		t.Errorf("Infer(1..100) = %v, want incremental integer", got)
+	}
+	// Sparse integers are plain integers.
+	sparse := []string{"3", "90", "417", "1200", "77", "5012", "8", "666"}
+	if got := Infer(sparse); got != ColInt {
+		t.Errorf("Infer(sparse ints) = %v, want integer", got)
+	}
+	// Order does not matter for incrementality.
+	shuffled := []string{"5", "2", "4", "1", "3", "7", "6"}
+	if got := Infer(shuffled); got != ColIncrementalInt {
+		t.Errorf("Infer(shuffled 1..7) = %v, want incremental integer", got)
+	}
+}
+
+func TestInferCategorical(t *testing.T) {
+	var vals []string
+	cats := []string{"Salmon", "Trout", "Lumpfish", "Cod"}
+	for i := 0; i < 200; i++ {
+		vals = append(vals, cats[i%len(cats)])
+	}
+	if got := Infer(vals); got != ColCategorical {
+		t.Errorf("Infer(repeating categories) = %v, want categorical", got)
+	}
+}
+
+func TestInferString(t *testing.T) {
+	var vals []string
+	for i := 0; i < 200; i++ {
+		vals = append(vals, fmt.Sprintf("Free form description %d", i))
+	}
+	if got := Infer(vals); got != ColString {
+		t.Errorf("Infer(unique strings) = %v, want string", got)
+	}
+}
+
+func TestInferOtherTypes(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []string
+		want ColumnType
+	}{
+		{"all null", []string{"", "n/a", "null", ""}, ColAllNull},
+		{"empty", nil, ColAllNull},
+		{"bool", []string{"yes", "no", "yes", "no", "yes"}, ColBool},
+		{"float", []string{"1.5", "2.5", "3.25", "0.1"}, ColFloat},
+		{"mixed int float is float", []string{"1", "2.5", "3", "0.1", "4", "7.5", "8", "2.25", "9", "1.75"}, ColFloat},
+		{"timestamp", []string{"2020-01-01", "2020-02-01", "2020-03-01"}, ColTimestamp},
+		{"geo", []string{"43.47, -80.54", "44.1, -79.2", "45.0, -75.5"}, ColGeo},
+		{"nulls ignored", []string{"", "1.5", "n/a", "2.5", "3.5"}, ColFloat},
+	}
+	for _, c := range cases {
+		if got := Infer(c.vals); got != c.want {
+			t.Errorf("%s: Infer = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBroadClass(t *testing.T) {
+	cases := []struct {
+		t    ColumnType
+		want string
+	}{
+		{ColIncrementalInt, "number"},
+		{ColInt, "number"},
+		{ColFloat, "number"},
+		{ColString, "text"},
+		{ColCategorical, "text"},
+		{ColTimestamp, "text"},
+		{ColGeo, "text"},
+		{ColBool, "text"},
+		{ColAllNull, "all-null"},
+	}
+	for _, c := range cases {
+		if got := c.t.BroadClass(); got != c.want {
+			t.Errorf("%v.BroadClass() = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestKindOfNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_ = KindOf(s)
+		_ = IsNull(s)
+		_ = IsTimestamp(s)
+		_ = IsGeo(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnTypeString(t *testing.T) {
+	for ct := ColUnknown; ct <= ColString; ct++ {
+		if ct.String() == "invalid" {
+			t.Errorf("ColumnType(%d) has no name", ct)
+		}
+	}
+}
