@@ -8,8 +8,10 @@ package ogdp
 // evaluation.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -676,6 +678,28 @@ func BenchmarkAblationExactVsFuzzyUnion(b *testing.B) {
 }
 
 // ---- End-to-end ----
+
+// BenchmarkStudyParallel measures the full four-portal study at the
+// harness default scale across worker counts. workers-1 is the
+// sequential baseline that the speedups recorded in EXPERIMENTS.md
+// are quoted against; every variant produces byte-identical results
+// (see TestStudyDeterministicAcrossWorkers).
+func BenchmarkStudyParallel(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Run(gen.Profiles(), core.Options{
+					Scale: benchScale, Seed: 100, MaxFDTables: 150,
+					SamplePerCell: 8, UnionSamples: 10, Workers: w,
+				})
+			}
+		})
+	}
+}
 
 func BenchmarkFullStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {

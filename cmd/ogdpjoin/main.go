@@ -28,6 +28,7 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "corpus scale")
 	seed := flag.Int64("seed", 1, "generation seed")
 	perCell := flag.Int("per-cell", 17, "labeling sample quota per size×key cell")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
 	flag.Parse()
 
 	start := time.Now()
@@ -36,6 +37,7 @@ func main() {
 		Seed:          *seed,
 		MaxFDTables:   1, // FD analysis handled by ogdpfd
 		SamplePerCell: *perCell,
+		Workers:       *workers,
 	})
 	report.Table6(os.Stdout, res)
 	report.Figure8(os.Stdout, res)

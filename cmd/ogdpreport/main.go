@@ -27,6 +27,7 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "corpus scale (1.0 = full calibrated size)")
 	seed := flag.Int64("seed", 1, "generation seed")
 	fast := flag.Bool("fast", false, "skip the HTTP funnel and cap FD analysis")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
 	flag.Parse()
 
 	opts := core.Options{
@@ -36,6 +37,7 @@ func main() {
 		FetchFunnel: true,
 		Sensitivity: true,
 		Extensions:  true,
+		Workers:     *workers,
 	}
 	if *fast {
 		opts.FetchFunnel = false

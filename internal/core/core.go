@@ -5,9 +5,22 @@
 // with expansion ratios, stratified usefulness labeling, and
 // unionability — producing one result struct per table/figure of the
 // evaluation.
+//
+// # Concurrency and determinism
+//
+// The study parallelizes on four levels, all bounded by
+// Options.Workers: portals run concurrently, the §3–§6 sections of one
+// portal overlap, FD/key discovery fans out per table, and the join
+// search shards candidate verification. The result is byte-identical
+// for every worker count: each parallel unit draws from its own rng
+// stream derived from (Options.Seed, section salt, unit index) — never
+// from a shared *rand.Rand — and merged outputs are folded back in
+// sequential order (or sorted into a canonical order) before being
+// returned.
 package core
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 
@@ -19,6 +32,7 @@ import (
 	"ogdp/internal/join"
 	"ogdp/internal/keys"
 	"ogdp/internal/normalize"
+	"ogdp/internal/parallel"
 	"ogdp/internal/profile"
 	"ogdp/internal/stats"
 	"ogdp/internal/table"
@@ -56,6 +70,13 @@ type Options struct {
 	// analyses: inclusion-dependency (foreign key) discovery, fuzzy
 	// unionability gain, and FD plausibility scoring.
 	Extensions bool
+	// Workers bounds the goroutines of every parallel layer of the
+	// study (portal fan-out, section overlap, per-table FD/key
+	// discovery, join-candidate verification). 0 selects
+	// runtime.GOMAXPROCS(0); 1 reproduces the sequential run exactly.
+	// Results are byte-identical for every value — see the determinism
+	// contract in the package comment.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -204,67 +225,106 @@ type StudyResult struct {
 	Portals []PortalResult
 }
 
+// Section seed salts. Each §-section of the study draws from its own
+// rng stream derived from (Options.Seed, salt), so sections can
+// reorder or run concurrently without perturbing one another's draws
+// (previously one *rand.Rand was threaded through FD decomposition,
+// join-pair sampling, and union sampling in sequence, so any change in
+// an earlier section's consumption shifted every later draw).
+const (
+	seedSaltFD = 1 + iota
+	seedSaltJoinSample
+	seedSaltUnionSample
+)
+
+// sectionSeed derives a section's rng seed from the study seed; add a
+// unit index for per-table streams inside a section. The multipliers
+// are primes so distinct (seed, salt) pairs map to distinct streams.
+func sectionSeed(seed int64, salt int64) int64 {
+	return seed*7919 + salt*1000003
+}
+
 // Run executes the study for the given portal profiles (use
-// gen.Profiles() for the paper's four).
+// gen.Profiles() for the paper's four). Portals are generated and
+// analyzed concurrently when opts.Workers allows; each portal writes
+// only its own result slot, so the output order always matches the
+// profile list.
 func Run(profiles []gen.PortalProfile, opts Options) *StudyResult {
 	opts = opts.withDefaults()
-	res := &StudyResult{Options: opts}
-	for i, prof := range profiles {
-		corpus := gen.Generate(prof, opts.Scale, opts.Seed+int64(i))
-		res.Portals = append(res.Portals, RunPortal(corpus, opts))
-	}
+	res := &StudyResult{Options: opts, Portals: make([]PortalResult, len(profiles))}
+	parallel.ForEach(context.Background(), len(profiles), opts.Workers, func(i int) {
+		corpus := gen.Generate(profiles[i], opts.Scale, opts.Seed+int64(i))
+		res.Portals[i] = RunPortal(corpus, opts)
+	})
 	return res
 }
 
-// RunPortal executes every analysis over one corpus.
+// RunPortal executes every analysis over one corpus. The four sections
+// are mutually independent given their own rng streams (see the
+// section salts above), so they overlap when opts.Workers allows.
 func RunPortal(corpus *gen.Corpus, opts Options) PortalResult {
 	opts = opts.withDefaults()
 	pr := PortalResult{Portal: corpus.PortalName, Corpus: corpus}
-	rng := rand.New(rand.NewSource(opts.Seed * 7919))
 
-	// ---- profiling (§3) ----
-	pc := profileCorpus(corpus)
-	if opts.FetchFunnel {
-		pc.Funnel = measureFunnel(corpus, opts.Seed)
-	}
-	pr.Sizes = profile.Sizes(pc, opts.Compress)
-	pr.SizePercentiles = profile.SizePercentiles(pc, []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
-	pr.Growth = profile.Growth(pc)
-	pr.TableSizes = profile.TableSizes(pc)
-	pr.ColsHist, pr.RowsHist = sizeHistograms(corpus)
-	pr.Nulls = profile.Nulls(pc)
-	pr.Metadata = profile.Metadata(pc, 100)
-	pr.Uniqueness = profile.Uniqueness(pc)
-
-	// ---- keys and FDs (§4) ----
-	fdTables := fdSubset(corpus, opts.MaxFDTables)
-	pr.KeySizeDist = keys.SizeDistribution(fdTables, keys.MaxCandidateKeySize)
-	pr.FD = fdAnalysis(fdTables, rng)
-
-	// ---- joinability (§5) ----
 	tables := corpus.Tables()
-	ja := join.Find(tables, join.Options{})
-	pr.Join = joinStats(tables, ja)
-
-	if opts.Sensitivity {
-		ja07 := join.Find(tables, join.Options{MinJaccard: 0.7})
-		st := joinStats(tables, ja07)
-		pr.JoinAt07 = &st
-	}
-
+	// Profile every table up front, fanning out per table: this is the
+	// bulk of §3's CPU, and it leaves the sections below reading an
+	// immutable cache instead of racing to fill it.
+	parallel.ForEach(context.Background(), len(tables), opts.Workers, func(i int) {
+		t := tables[i]
+		for c := range t.Cols {
+			t.Profile(c)
+		}
+	})
+	fdTables := fdSubset(corpus, opts.MaxFDTables)
 	oracle := gen.Truth(corpus)
-	samples := classify.SampleJoinPairs(tables, ja.Pairs, oracle,
-		classify.SampleOptions{PerCell: opts.SamplePerCell}, rng)
-	pr.Labels = labelResults(tables, samples)
 
-	// ---- unionability (§6) ----
-	ua := union.Find(tables)
-	pr.Union = unionStats(corpus, ua)
-	unionSamples := classify.SampleUnionPairs(ua, oracle, opts.UnionSamples, rng)
-	pr.UnionLabels = classify.UnionLabelDist(unionSamples)
+	sections := []func(){
+		func() { // ---- profiling (§3) ----
+			pc := profileCorpus(corpus)
+			if opts.FetchFunnel {
+				pc.Funnel = measureFunnel(corpus, opts.Seed)
+			}
+			pr.Sizes = profile.Sizes(pc, opts.Compress)
+			pr.SizePercentiles = profile.SizePercentiles(pc, []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+			pr.Growth = profile.Growth(pc)
+			pr.TableSizes = profile.TableSizes(pc)
+			pr.ColsHist, pr.RowsHist = sizeHistograms(corpus)
+			pr.Nulls = profile.Nulls(pc)
+			pr.Metadata = profile.Metadata(pc, 100)
+			pr.Uniqueness = profile.Uniqueness(pc)
+		},
+		func() { // ---- keys and FDs (§4) ----
+			pr.KeySizeDist = keys.SizeDistributionParallel(fdTables, keys.MaxCandidateKeySize, opts.Workers)
+			pr.FD = fdAnalysis(fdTables, opts.Seed, opts.Workers)
+		},
+		func() { // ---- joinability (§5) ----
+			ja := join.Find(tables, join.Options{Workers: opts.Workers})
+			pr.Join = joinStats(tables, ja)
+
+			if opts.Sensitivity {
+				ja07 := join.Find(tables, join.Options{MinJaccard: 0.7, Workers: opts.Workers})
+				st := joinStats(tables, ja07)
+				pr.JoinAt07 = &st
+			}
+
+			rng := rand.New(rand.NewSource(sectionSeed(opts.Seed, seedSaltJoinSample)))
+			samples := classify.SampleJoinPairs(tables, ja.Pairs, oracle,
+				classify.SampleOptions{PerCell: opts.SamplePerCell}, rng)
+			pr.Labels = labelResults(tables, samples)
+		},
+		func() { // ---- unionability (§6) ----
+			ua := union.Find(tables)
+			pr.Union = unionStats(corpus, ua)
+			rng := rand.New(rand.NewSource(sectionSeed(opts.Seed, seedSaltUnionSample)))
+			unionSamples := classify.SampleUnionPairs(ua, oracle, opts.UnionSamples, rng)
+			pr.UnionLabels = classify.UnionLabelDist(unionSamples)
+		},
+	}
+	parallel.ForEach(context.Background(), len(sections), opts.Workers, func(i int) { sections[i]() })
 
 	if opts.Extensions {
-		ext := extensionStats(corpus, tables, fdTables, rng)
+		ext := extensionStats(corpus, tables, fdTables)
 		ext.ExactUnionTables = pr.Union.UnionableTables
 		pr.Ext = &ext
 	}
@@ -273,7 +333,7 @@ func RunPortal(corpus *gen.Corpus, opts Options) PortalResult {
 }
 
 // extensionStats runs the beyond-the-paper analyses.
-func extensionStats(corpus *gen.Corpus, tables []*table.Table, fdTables []*table.Table, rng *rand.Rand) ExtensionStats {
+func extensionStats(corpus *gen.Corpus, tables []*table.Table, fdTables []*table.Table) ExtensionStats {
 	var ext ExtensionStats
 
 	inds := ind.Find(tables, ind.Options{})
@@ -323,20 +383,18 @@ func extensionStats(corpus *gen.Corpus, tables []*table.Table, fdTables []*table
 
 func profileCorpus(c *gen.Corpus) *profile.Corpus {
 	pc := &profile.Corpus{Portal: c.PortalName}
+	metaStyle := make(map[string]int, len(c.Datasets))
+	for _, d := range c.Datasets {
+		metaStyle[d.ID] = d.Metadata
+	}
+	pc.Tables = make([]profile.TableInfo, 0, len(c.Metas))
 	for _, m := range c.Metas {
-		meta := 0
-		for _, d := range c.Datasets {
-			if d.ID == m.Dataset {
-				meta = d.Metadata
-				break
-			}
-		}
 		pc.Tables = append(pc.Tables, profile.TableInfo{
 			Table:     m.Table,
 			DatasetID: m.Dataset,
 			Published: m.Published,
 			RawSize:   m.RawSize,
-			Metadata:  meta,
+			Metadata:  metaStyle[m.Dataset],
 		})
 	}
 	return pc
@@ -392,31 +450,65 @@ func fdSubset(c *gen.Corpus, max int) []*table.Table {
 	return out
 }
 
-func fdAnalysis(tables []*table.Table, rng *rand.Rand) FDStats {
+// fdAnalysis fans FD discovery and BCNF decomposition out per table.
+// Each table draws its decomposition choices from an rng stream
+// derived from (seed, seedSaltFD, table index), and per-table results
+// are folded in index order, so the aggregate (including its
+// floating-point sums) is identical for every worker count.
+func fdAnalysis(tables []*table.Table, seed int64, workers int) FDStats {
+	type tableFD struct {
+		cols      int
+		withFD    bool
+		simpleFD  bool
+		subTables int
+		inBCNF    bool
+		partCols  []float64
+		gain      float64
+	}
+	per, _ := parallel.Map(context.Background(), len(tables), workers, func(i int) tableFD {
+		t := tables[i]
+		r := tableFD{cols: t.NumCols()}
+		fds := fd.Discover(t, fd.MaxLHS)
+		if len(fds) == 0 {
+			r.subTables = 1
+			r.inBCNF = true
+			return r
+		}
+		r.withFD = true
+		r.simpleFD = len(fd.SimpleFDs(fds)) > 0
+		rng := rand.New(rand.NewSource(sectionSeed(seed, seedSaltFD) + int64(i)))
+		res := normalize.Decompose(t, fd.MaxLHS, rng)
+		r.subTables = len(res.Tables)
+		r.inBCNF = res.InBCNF()
+		if !r.inBCNF {
+			for _, sub := range res.Tables {
+				r.partCols = append(r.partCols, float64(sub.NumCols()))
+			}
+			r.gain = res.UniquenessGain()
+		}
+		return r
+	})
+
 	st := FDStats{DecompositionDist: map[int]int{}}
 	var cols float64
 	var decomposed, partCols, gains []float64
-	for _, t := range tables {
+	for _, r := range per {
 		st.Tables++
-		st.Columns += t.NumCols()
-		cols += float64(t.NumCols())
-		fds := fd.Discover(t, fd.MaxLHS)
-		if len(fds) == 0 {
+		st.Columns += r.cols
+		cols += float64(r.cols)
+		if !r.withFD {
 			st.DecompositionDist[1]++
 			continue
 		}
 		st.WithFD++
-		if len(fd.SimpleFDs(fds)) > 0 {
+		if r.simpleFD {
 			st.WithSimpleFD++
 		}
-		res := normalize.Decompose(t, fd.MaxLHS, rng)
-		st.DecompositionDist[len(res.Tables)]++
-		if !res.InBCNF() {
-			decomposed = append(decomposed, float64(len(res.Tables)))
-			for _, sub := range res.Tables {
-				partCols = append(partCols, float64(sub.NumCols()))
-			}
-			gains = append(gains, res.UniquenessGain())
+		st.DecompositionDist[r.subTables]++
+		if !r.inBCNF {
+			decomposed = append(decomposed, float64(r.subTables))
+			partCols = append(partCols, r.partCols...)
+			gains = append(gains, r.gain)
 		}
 	}
 	if st.Tables > 0 {

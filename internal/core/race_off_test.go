@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled scales the heavier test fixtures down when the race
+// detector (with its ~10x slowdown) is on.
+const raceEnabled = false

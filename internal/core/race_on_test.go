@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled scales the heavier test fixtures down when the race
+// detector (with its ~10x slowdown) is on, keeping `go test -race`
+// within a few minutes on small machines.
+const raceEnabled = true

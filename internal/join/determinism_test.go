@@ -1,0 +1,48 @@
+// External test package: gen depends on join, so this test must live
+// outside package join to import the corpus generator.
+package join_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ogdp/internal/gen"
+	"ogdp/internal/join"
+	"ogdp/internal/table"
+)
+
+// TestFindDeterministicAcrossWorkers requires byte-identical analyses
+// for every worker count over a mixed SG+US corpus.
+func TestFindDeterministicAcrossWorkers(t *testing.T) {
+	var tables []*table.Table
+	for i, p := range []gen.PortalProfile{gen.SG(), gen.US()} {
+		tables = append(tables, gen.Generate(p, 0.05, int64(7+i)).Tables()...)
+	}
+
+	seq := join.Find(tables, join.Options{Workers: 1})
+	if len(seq.Pairs) == 0 {
+		t.Fatal("no pairs found; determinism comparison is vacuous")
+	}
+	for _, workers := range []int{2, 8} {
+		par := join.Find(tables, join.Options{Workers: workers})
+		if par.Eligible != seq.Eligible {
+			t.Errorf("Workers=%d: eligible %d != %d", workers, par.Eligible, seq.Eligible)
+		}
+		if !reflect.DeepEqual(par.Pairs, seq.Pairs) {
+			t.Errorf("Workers=%d: %d pairs differ from sequential %d",
+				workers, len(par.Pairs), len(seq.Pairs))
+		}
+	}
+}
+
+// TestFindMatchesAllPairsBaseline cross-checks the parallel
+// prefix-filter search against the brute-force baseline.
+func TestFindMatchesAllPairsBaseline(t *testing.T) {
+	tables := gen.Generate(gen.SG(), 0.05, 9).Tables()
+	fast := join.Find(tables, join.Options{Workers: 4})
+	slow := join.FindAllPairs(tables, join.Options{})
+	if !reflect.DeepEqual(fast.Pairs, slow.Pairs) {
+		t.Fatalf("prefix-filter (%d pairs) != all-pairs baseline (%d pairs)",
+			len(fast.Pairs), len(slow.Pairs))
+	}
+}

@@ -9,8 +9,10 @@
 package join
 
 import (
+	"context"
 	"sort"
 
+	"ogdp/internal/parallel"
 	"ogdp/internal/table"
 )
 
@@ -30,6 +32,10 @@ type Options struct {
 	// MinUnique defaults to DefaultMinUnique; negative disables the
 	// filter.
 	MinUnique int
+	// Workers bounds the goroutines used for column collection and
+	// candidate verification: 0 selects runtime.GOMAXPROCS(0), 1 runs
+	// sequentially. The result is identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -76,30 +82,84 @@ type column struct {
 	isKey    bool
 }
 
-// Find runs the joinability analysis over the corpus.
+// Find runs the joinability analysis over the corpus. The search is
+// deterministic for every Options.Workers value: candidates are
+// generated sequentially, verification results are index-addressed,
+// and the pair list is sorted into a canonical order before returning.
 func Find(tables []*table.Table, opts Options) *Analysis {
 	opts = opts.withDefaults()
 	a := &Analysis{Tables: tables}
 
-	cols := collectColumns(tables, opts.MinUnique)
+	cols := collectColumns(tables, opts.MinUnique, opts.Workers)
 	a.Eligible = len(cols)
 	if len(cols) < 2 {
 		return a
 	}
 
-	// Prefix-filter candidate generation: for Jaccard >= θ two sets
-	// must share a value among the first floor((1-θ)·|S|)+1 elements of
-	// each sorted set. Index those prefixes, verify candidates exactly.
-	type candKey struct{ i, j int }
-	postings := make(map[uint64][]int)
-	seen := make(map[candKey]struct{})
+	cands := candidatePairs(cols, opts.MinJaccard)
 
-	for ci, c := range cols {
-		prefixLen := int(float64(len(c.hashes))*(1-opts.MinJaccard)) + 1
-		if prefixLen > len(c.hashes) {
-			prefixLen = len(c.hashes)
+	// Exact verification dominates the search; shard it across workers.
+	// Each candidate writes only its own result slot, so the surviving
+	// pair set is independent of scheduling.
+	type verdict struct {
+		pair Pair
+		ok   bool
+	}
+	verified, _ := parallel.Map(context.Background(), len(cands), opts.Workers, func(k int) verdict {
+		c := cands[k]
+		if jv, ok := jaccard(cols[c.i].hashes, cols[c.j].hashes, opts.MinJaccard); ok {
+			return verdict{pair: makePair(tables, cols, c.j, c.i, jv), ok: true}
 		}
-		for _, h := range c.hashes[:prefixLen] {
+		return verdict{}
+	})
+	for _, v := range verified {
+		if v.ok {
+			a.Pairs = append(a.Pairs, v.pair)
+		}
+	}
+
+	sortPairs(a.Pairs)
+	return a
+}
+
+// cand is one candidate column pair: cols[j] was indexed before
+// cols[i], matching the (cj, ci) order of the sequential scan.
+type cand struct{ i, j int }
+
+// candidatePairs runs prefix-filter candidate generation: for
+// Jaccard >= θ two sets must share a value among the first
+// floor((1-θ)·|S|)+1 elements of each sorted set. Index those
+// prefixes; the caller verifies candidates exactly.
+func candidatePairs(cols []column, minJaccard float64) []cand {
+	prefixLens := make([]int, len(cols))
+	totalPrefix := 0
+	for i, c := range cols {
+		pl := int(float64(len(c.hashes))*(1-minJaccard)) + 1
+		if pl > len(c.hashes) {
+			pl = len(c.hashes)
+		}
+		prefixLens[i] = pl
+		totalPrefix += pl
+	}
+
+	// Each column posts each of its prefix hashes exactly once, so the
+	// index never holds more than totalPrefix keys.
+	postings := make(map[uint64][]int, totalPrefix)
+	// stamp[cj] == ci records that (cj, ci) was already emitted while
+	// scanning column ci. Candidates for ci are only generated during
+	// ci's own scan, so this per-scan stamp replaces a global seen map;
+	// a single-hash prefix cannot emit the same partner twice, so the
+	// lookup is skipped entirely for prefixLen == 1.
+	stamp := make([]int, len(cols))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+
+	var cands []cand
+	for ci, c := range cols {
+		prefix := c.hashes[:prefixLens[ci]]
+		dedup := len(prefix) > 1
+		for _, h := range prefix {
 			for _, cj := range postings[h] {
 				o := cols[cj]
 				if o.tbl == c.tbl {
@@ -107,24 +167,28 @@ func Find(tables []*table.Table, opts Options) *Analysis {
 				}
 				// Size filter: |A|/|B| must be within [θ, 1/θ].
 				la, lb := len(c.hashes), len(o.hashes)
-				if float64(min(la, lb)) < opts.MinJaccard*float64(max(la, lb)) {
+				if float64(min(la, lb)) < minJaccard*float64(max(la, lb)) {
 					continue
 				}
-				key := candKey{cj, ci}
-				if _, ok := seen[key]; ok {
-					continue
+				if dedup {
+					if stamp[cj] == ci {
+						continue
+					}
+					stamp[cj] = ci
 				}
-				seen[key] = struct{}{}
-				if j, ok := jaccard(c.hashes, o.hashes, opts.MinJaccard); ok {
-					a.Pairs = append(a.Pairs, makePair(tables, cols, cj, ci, j))
-				}
+				cands = append(cands, cand{i: ci, j: cj})
 			}
 			postings[h] = append(postings[h], ci)
 		}
 	}
+	return cands
+}
 
-	sort.Slice(a.Pairs, func(i, j int) bool {
-		p, q := a.Pairs[i], a.Pairs[j]
+// sortPairs orders pairs canonically by (T1, C1, T2, C2); the key is
+// unique per column pair, so the order is total.
+func sortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		p, q := pairs[i], pairs[j]
 		if p.T1 != q.T1 {
 			return p.T1 < q.T1
 		}
@@ -136,7 +200,6 @@ func Find(tables []*table.Table, opts Options) *Analysis {
 		}
 		return p.C2 < q.C2
 	})
-	return a
 }
 
 // FindAllPairs is the brute-force baseline used by tests and the
@@ -144,7 +207,7 @@ func Find(tables []*table.Table, opts Options) *Analysis {
 func FindAllPairs(tables []*table.Table, opts Options) *Analysis {
 	opts = opts.withDefaults()
 	a := &Analysis{Tables: tables}
-	cols := collectColumns(tables, opts.MinUnique)
+	cols := collectColumns(tables, opts.MinUnique, 1)
 	a.Eligible = len(cols)
 	for i := 0; i < len(cols); i++ {
 		for j := i + 1; j < len(cols); j++ {
@@ -156,19 +219,7 @@ func FindAllPairs(tables []*table.Table, opts Options) *Analysis {
 			}
 		}
 	}
-	sort.Slice(a.Pairs, func(i, j int) bool {
-		p, q := a.Pairs[i], a.Pairs[j]
-		if p.T1 != q.T1 {
-			return p.T1 < q.T1
-		}
-		if p.C1 != q.C1 {
-			return p.C1 < q.C1
-		}
-		if p.T2 != q.T2 {
-			return p.T2 < q.T2
-		}
-		return p.C2 < q.C2
-	})
+	sortPairs(a.Pairs)
 	return a
 }
 
@@ -187,10 +238,14 @@ func makePair(tables []*table.Table, cols []column, i, j int, jv float64) Pair {
 	return p
 }
 
-// collectColumns indexes every eligible column of the corpus.
-func collectColumns(tables []*table.Table, minUnique int) []column {
-	var out []column
-	for ti, t := range tables {
+// collectColumns indexes every eligible column of the corpus, fanning
+// out per table (each table's profile cache is then touched by exactly
+// one goroutine). Concatenating the per-table slices in table order
+// keeps the column numbering identical to a sequential scan.
+func collectColumns(tables []*table.Table, minUnique, workers int) []column {
+	perTable, _ := parallel.Map(context.Background(), len(tables), workers, func(ti int) []column {
+		t := tables[ti]
+		var out []column
 		for ci := range t.Cols {
 			p := t.Profile(ci)
 			if minUnique > 0 && p.Distinct < minUnique {
@@ -206,6 +261,11 @@ func collectColumns(tables []*table.Table, minUnique int) []column {
 			sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
 			out = append(out, column{tbl: ti, col: ci, hashes: hashes, isKey: p.IsKey()})
 		}
+		return out
+	})
+	var out []column
+	for _, cs := range perTable {
+		out = append(out, cs...)
 	}
 	return out
 }

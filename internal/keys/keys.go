@@ -5,6 +5,9 @@
 package keys
 
 import (
+	"context"
+
+	"ogdp/internal/parallel"
 	"ogdp/internal/table"
 )
 
@@ -105,9 +108,19 @@ func searchSize(t *table.Table, cols []int, size, nRows int) bool {
 // index 1..maxSize hold counts of tables whose smallest key has that
 // size; index 0 holds tables with no key of size ≤ maxSize.
 func SizeDistribution(tables []*table.Table, maxSize int) []int {
+	return SizeDistributionParallel(tables, maxSize, 1)
+}
+
+// SizeDistributionParallel fans the per-table minimal-key search out
+// over workers goroutines (0 = GOMAXPROCS, 1 = sequential). Each
+// table's search is independent, so the merged histogram is identical
+// for every worker count.
+func SizeDistributionParallel(tables []*table.Table, maxSize, workers int) []int {
+	sizes, _ := parallel.Map(context.Background(), len(tables), workers, func(i int) int {
+		return MinCandidateKeySize(tables[i], maxSize)
+	})
 	dist := make([]int, maxSize+1)
-	for _, t := range tables {
-		s := MinCandidateKeySize(t, maxSize)
+	for _, s := range sizes {
 		dist[s]++
 	}
 	return dist

@@ -1,0 +1,125 @@
+// Package parallel is the bounded worker pool shared by the study's
+// hot layers: index-addressed fan-out over a fixed-size work list with
+// deterministic result placement, context cancellation, and panic
+// propagation.
+//
+// Determinism is the design center. Work units are addressed by index,
+// workers communicate only through per-index result slots, and callers
+// merge results in index order, so output never depends on goroutine
+// scheduling. A workers value of 1 degenerates to a plain sequential
+// loop on the caller's goroutine, reproducing single-threaded
+// behaviour exactly; 0 selects runtime.GOMAXPROCS(0).
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values ≤ 0 select
+// runtime.GOMAXPROCS(0); anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// WorkerPanic carries a panic recovered on a pool goroutine back to
+// the caller, preserving the original value and worker stack.
+type WorkerPanic struct {
+	// Value is the value originally passed to panic.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// ForEach invokes fn(i) for every i in [0, n), using at most workers
+// goroutines (Workers-normalized). Indices are claimed atomically, so
+// fn must be safe to call concurrently for distinct indices; writes
+// must be index-addressed for deterministic output.
+//
+// If fn panics, the first panic is captured, remaining indices are
+// abandoned, and the panic is re-raised on the caller's goroutine as a
+// *WorkerPanic. If ctx is canceled, no new indices are dispatched
+// (in-flight calls complete) and the context error is returned.
+func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		panicMu sync.Mutex
+		caught  *WorkerPanic
+		wg      sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if caught == nil {
+								caught = &WorkerPanic{Value: r, Stack: debug.Stack()}
+							}
+							panicMu.Unlock()
+							stop.Store(true)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if caught != nil {
+		panic(caught)
+	}
+	return ctx.Err()
+}
+
+// Map invokes fn(i) for every i in [0, n) on up to workers goroutines
+// and returns the results in index order, so the output is identical
+// for every worker count. Error and panic semantics match ForEach; on
+// a context error the returned slice is partially filled.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	out := make([]T, max(n, 0))
+	err := ForEach(ctx, n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out, err
+}

@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", Workers(0))
+	}
+	if Workers(-3) != Workers(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", Workers(-3))
+	}
+	if Workers(7) != 7 {
+		t.Errorf("Workers(7) = %d", Workers(7))
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 1000
+		counts := make([]int32, n)
+		if err := ForEach(context.Background(), n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(i int) int { return i*i + 7 }
+	want, err := Map(context.Background(), 500, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Map(context.Background(), 500, workers, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: result differs from sequential", workers)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, func(i int) int { return i })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				if workers > 1 {
+					wp, ok := r.(*WorkerPanic)
+					if !ok {
+						t.Fatalf("workers=%d: recovered %T, want *WorkerPanic", workers, r)
+					}
+					if wp.Value != "boom" || len(wp.Stack) == 0 {
+						t.Fatalf("workers=%d: panic payload %v lost", workers, wp.Value)
+					}
+				}
+			}()
+			ForEach(context.Background(), 100, workers, func(i int) {
+				if i == 42 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 10000, 4, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(time.Microsecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 10000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}

@@ -9,12 +9,18 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"sync"
 
 	"ogdp/internal/values"
 )
 
 // Table is a named relational table. Values are stored column-major as
 // raw CSV strings; nulls are any value for which values.IsNull is true.
+//
+// Profile, Profiles, and DistinctCount are safe for concurrent use, so
+// analyses may share a table across goroutines as long as none of them
+// mutates Cols or Data. Mutation (AppendRow, direct Data writes plus
+// InvalidateProfiles) must not overlap with any other access.
 type Table struct {
 	// Name identifies the table (typically the resource file name).
 	Name string
@@ -27,6 +33,7 @@ type Table struct {
 	// All columns have the same length.
 	Data [][]string
 
+	profMu   sync.Mutex       // guards profiles
 	profiles []*ColumnProfile // lazily built, indexed like Cols
 }
 
@@ -73,7 +80,7 @@ func (t *Table) AppendRow(row []string) {
 	for c, v := range row {
 		t.Data[c] = append(t.Data[c], v)
 	}
-	t.profiles = nil
+	t.InvalidateProfiles()
 }
 
 // Column returns the values of column c.
@@ -171,9 +178,12 @@ func HashValue(v string) uint64 {
 	return h.Sum64()
 }
 
-// Profile returns the cached profile of column c, computing all column
-// profiles on first use.
+// Profile returns the cached profile of column c, computing it on
+// first use. Safe for concurrent use; the column is profiled at most
+// once.
 func (t *Table) Profile(c int) *ColumnProfile {
+	t.profMu.Lock()
+	defer t.profMu.Unlock()
 	if t.profiles == nil {
 		t.profiles = make([]*ColumnProfile, len(t.Cols))
 	}
@@ -212,7 +222,11 @@ func profileColumn(name string, col []string) *ColumnProfile {
 
 // InvalidateProfiles drops cached column profiles; call after mutating
 // Data directly.
-func (t *Table) InvalidateProfiles() { t.profiles = nil }
+func (t *Table) InvalidateProfiles() {
+	t.profMu.Lock()
+	t.profiles = nil
+	t.profMu.Unlock()
+}
 
 // SchemaKey returns the canonical schema identity used for the
 // unionability analysis (§6): the ordered, case-folded column names

@@ -13,6 +13,18 @@
 //   - generating calibrated synthetic portals (SG/CA/UK/US) and
 //     running the paper's entire study over them.
 //
+// # Concurrency
+//
+// The study and the join search share a deterministic parallel
+// execution layer (a bounded worker pool in internal/parallel),
+// controlled by StudyOptions.Workers and JoinOptions.Workers: 0 uses
+// all CPUs, 1 runs sequentially. Every parallel unit draws from an
+// index-derived rng stream and merged outputs are restored to the
+// sequential order, so results are byte-identical for every worker
+// count — raising Workers only changes wall-clock time. Tables are
+// safe to share across these analyses: column-profile caches are
+// computed under a per-table lock.
+//
 // See the examples/ directory for runnable walkthroughs and
 // cmd/ogdpreport for the end-to-end reproduction of every table and
 // figure in the paper.
@@ -163,7 +175,8 @@ func MinCandidateKeySize(t *Table) int {
 
 // FindJoinable finds joinable table pairs: columns with ≥ 10 distinct
 // values whose value sets have Jaccard similarity ≥ 0.9 (the paper's
-// thresholds; override via opts).
+// thresholds; override via opts). opts.Workers parallelizes the
+// search without changing its result.
 func FindJoinable(tables []*Table, opts JoinOptions) *JoinAnalysis {
 	return join.Find(tables, opts)
 }
@@ -189,6 +202,8 @@ func GenerateCorpus(p PortalProfile, scale float64, seed int64) *Corpus {
 }
 
 // RunStudy executes the paper's entire study over all four portals.
+// opts.Workers bounds the parallel fan-out (0 = all CPUs); the result
+// is byte-identical for every worker count.
 func RunStudy(opts StudyOptions) *StudyResult {
 	return core.Run(gen.Profiles(), opts)
 }
