@@ -5,9 +5,15 @@
 // sniffing, header inference, parsing, wide-table cutoff — and prints
 // the downloadable/readable funnel of Table 1.
 //
+// The fetch fans out over -workers concurrent requests and retries
+// transient failures -retries times with deterministic backoff, so a
+// flaky portal (simulated with -failrate/-truncrate/-latency) yields
+// the same funnel as a healthy one.
+//
 // Usage:
 //
 //	ogdpfetch -portal CA -scale 0.1 -seed 1
+//	ogdpfetch -portal CA -workers 8 -retries 4 -failrate 0.3
 //	ogdpfetch -portal SG -serve :8085    # keep serving for inspection
 package main
 
@@ -17,6 +23,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"time"
 
 	"ogdp/internal/ckan"
 	"ogdp/internal/gen"
@@ -28,8 +35,14 @@ func main() {
 
 	portal := flag.String("portal", "CA", "portal profile: SG, CA, UK, or US")
 	scale := flag.Float64("scale", 0.1, "corpus scale")
-	seed := flag.Int64("seed", 1, "generation seed")
+	seed := flag.Int64("seed", 1, "generation seed (also drives retry jitter and fault schedules)")
 	serve := flag.String("serve", "", "keep serving the CKAN API on this address after fetching")
+	workers := flag.Int("workers", 0, "concurrent fetch requests (0 = all CPUs, 1 = sequential)")
+	retries := flag.Int("retries", ckan.DefaultRetries, "retry budget for transient failures (0 disables)")
+	timeout := flag.Duration("timeout", ckan.DefaultTimeout, "per-request deadline")
+	failRate := flag.Float64("failrate", 0, "inject transient 500s on every endpoint at this rate")
+	truncRate := flag.Float64("truncrate", 0, "inject truncated download bodies at this rate")
+	latency := flag.Duration("latency", 0, "inject this much latency per response")
 	flag.Parse()
 
 	prof, ok := gen.ProfileByName(*portal)
@@ -39,6 +52,17 @@ func main() {
 	corpus := gen.Generate(prof, *scale, *seed)
 	p := gen.BuildPortal(corpus, *seed)
 
+	ckanSrv := ckan.NewServer(p)
+	if *failRate > 0 || *truncRate > 0 || *latency > 0 {
+		api := ckan.FaultSpec{Rate500: *failRate, Latency: *latency}
+		ckanSrv.InjectFaults(ckan.Faults{
+			Seed:        *seed,
+			PackageList: api,
+			PackageShow: api,
+			Download:    ckan.FaultSpec{Rate500: *failRate, TruncateRate: *truncRate, Latency: *latency},
+		})
+	}
+
 	addr := *serve
 	if addr == "" {
 		addr = "127.0.0.1:0"
@@ -47,28 +71,46 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: ckan.NewServer(p)}
+	srv := &http.Server{Handler: ckanSrv}
 	go srv.Serve(ln)
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("CKAN API serving %s at %s\n", prof.Name, base)
 
 	client := ckan.NewClient(base)
+	client.Workers = *workers
+	client.Timeout = *timeout
+	client.Seed = *seed
+	if *retries <= 0 {
+		client.Retries = -1
+	} else {
+		client.Retries = *retries
+	}
+
+	start := time.Now()
 	tables, stats, err := client.FetchAll()
 	if err != nil {
 		log.Fatal(err)
 	}
+	pct := func(n int) float64 {
+		if stats.Tables == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(stats.Tables)
+	}
 	fmt.Printf("datasets:      %d\n", stats.Datasets)
 	fmt.Printf("tables (CSV):  %d\n", stats.Tables)
-	fmt.Printf("downloadable:  %d (%.1f%%)\n", stats.Downloadable, 100*float64(stats.Downloadable)/float64(stats.Tables))
-	fmt.Printf("readable:      %d (%.1f%%)\n", stats.Readable, 100*float64(stats.Readable)/float64(stats.Tables))
+	fmt.Printf("downloadable:  %d (%.1f%%)\n", stats.Downloadable, pct(stats.Downloadable))
+	fmt.Printf("readable:      %d (%.1f%%)\n", stats.Readable, pct(stats.Readable))
 	fmt.Printf("too wide:      %d\n", stats.TooWide)
+	fmt.Printf("retries:       %d (%d transient failures)\n", stats.Retries, stats.TransientFailures)
+	fmt.Printf("permanent:     %d failed requests, %d unparseable dates\n", stats.PermanentFailures, stats.UnparsedDates)
 
 	var rows, cols int
 	for _, ft := range tables {
 		rows += ft.Table.NumRows()
 		cols += ft.Table.NumCols()
 	}
-	fmt.Printf("parsed: %d tables, %d columns, %d rows\n", len(tables), cols, rows)
+	fmt.Printf("parsed: %d tables, %d columns, %d rows in %v\n", len(tables), cols, rows, time.Since(start).Round(time.Millisecond))
 
 	if *serve != "" {
 		fmt.Printf("serving until interrupted: try %s/api/3/action/package_list\n", base)

@@ -147,6 +147,20 @@ func TestClientFetchAllFunnel(t *testing.T) {
 	if stats.TooWide != 1 {
 		t.Errorf("tooWide = %d, want 1", stats.TooWide)
 	}
+	// The one non-downloadable resource is accounted on the ledger
+	// rather than silently dropped.
+	if stats.PermanentFailures != 1 || len(stats.Failures) != 1 {
+		t.Errorf("failure accounting = %+v", stats)
+	}
+	if len(stats.Failures) == 1 {
+		f := stats.Failures[0]
+		if f.Stage != StageDownload || f.ResourceID != "r-3" || f.Attempts != 1 {
+			t.Errorf("ledger entry = %+v", f)
+		}
+	}
+	if stats.Retries != 0 || stats.TransientFailures != 0 || stats.UnparsedDates != 0 {
+		t.Errorf("healthy portal recorded faults: %+v", stats)
+	}
 	if len(tables) != 2 {
 		t.Fatalf("tables = %d", len(tables))
 	}

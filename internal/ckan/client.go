@@ -1,7 +1,9 @@
 package ckan
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,26 +11,78 @@ import (
 	"time"
 
 	"ogdp/internal/csvio"
+	"ogdp/internal/parallel"
 	"ogdp/internal/sniff"
 	"ogdp/internal/table"
 )
 
+// Default knobs for the fetch pipeline.
+const (
+	// DefaultTimeout is the per-request deadline when Client.Timeout is
+	// zero. The zero-value Client's HTTP transport carries the same
+	// timeout, so a portal that accepts a connection and then stalls
+	// can never hang the crawl.
+	DefaultTimeout = 30 * time.Second
+	// DefaultRetries is the transient-failure retry budget when
+	// Client.Retries is zero.
+	DefaultRetries = 2
+	// DefaultBackoff is the nominal delay before the first retry when
+	// Client.Backoff is zero; later retries double it, with
+	// deterministic seeded jitter.
+	DefaultBackoff = 100 * time.Millisecond
+)
+
+// Ledger stages, the pipeline phases a request can permanently fail in.
+const (
+	StagePackageList = "package_list"
+	StagePackageShow = "package_show"
+	StageDownload    = "download"
+)
+
+// defaultHTTPClient backs Clients without an explicit HTTPClient.
+// Unlike http.DefaultClient it has a timeout, so even a zero-value
+// Client cannot hang forever on a stalled server.
+var defaultHTTPClient = &http.Client{Timeout: DefaultTimeout}
+
 // Client fetches a portal's CSV resources through the CKAN API,
-// reproducing the paper's acquisition pipeline.
+// reproducing the paper's acquisition pipeline. Real portals fail
+// constantly — only ~77–95% of advertised CSVs are downloadable at
+// all (Table 1) — so the client is built for graceful degradation:
+// transient failures (5xx, timeouts, truncated bodies) are retried
+// with deterministic exponential backoff, permanent failures are
+// recorded in a ledger and skipped, and requests fan out over a
+// bounded worker pool with results merged in dataset-index order so
+// output is byte-identical for every worker count.
 type Client struct {
 	// BaseURL of the CKAN API, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient defaults to a client with a 30s timeout.
+	// HTTPClient defaults to a client with a DefaultTimeout timeout.
 	HTTPClient *http.Client
 	// ReadOptions tunes the parsing step.
 	ReadOptions csvio.Options
+	// Workers bounds the concurrent package_show and download
+	// requests: 0 uses all CPUs, 1 runs sequentially. Results are
+	// identical for every value.
+	Workers int
+	// Retries is the number of extra attempts after a transient
+	// failure. Zero selects DefaultRetries; negative disables retries.
+	Retries int
+	// Timeout is the per-request deadline. Zero selects DefaultTimeout.
+	Timeout time.Duration
+	// Backoff is the nominal delay before the first retry, doubling
+	// per attempt with seeded jitter. Zero selects DefaultBackoff;
+	// negative disables waiting (useful in tests).
+	Backoff time.Duration
+	// Seed salts the retry jitter so backoff schedules are
+	// reproducible run to run.
+	Seed int64
 }
 
 // NewClient creates a fetch client for the portal at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL:    baseURL,
-		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		HTTPClient: &http.Client{Timeout: DefaultTimeout},
 	}
 }
 
@@ -42,61 +96,205 @@ type FetchedTable struct {
 	RawSize      int64 // bytes of the raw CSV body
 }
 
+// FetchFailure is one permanently failed request in the acquisition
+// error ledger: it was retried while its failures looked transient,
+// then given up on and skipped without aborting the crawl.
+type FetchFailure struct {
+	// Stage is the pipeline stage that failed: StagePackageList,
+	// StagePackageShow or StageDownload.
+	Stage string
+	// DatasetID and ResourceID locate the failed request; ResourceID
+	// is empty for metadata failures.
+	DatasetID  string
+	ResourceID string
+	// Attempts is how many times the request was tried.
+	Attempts int
+	// Err is the final error, kept as a string so ledgers compare
+	// cleanly across runs.
+	Err string
+}
+
 // FunnelStats counts resources through the pipeline stages the paper
-// reports in Table 1.
+// reports in Table 1, plus the fault accounting of the crawl itself.
 type FunnelStats struct {
 	Datasets     int
 	Tables       int // resources advertised as CSV
 	Downloadable int // HTTP 200
 	Readable     int // sniffed as tabular, header inferred, parsed
 	TooWide      int // rejected by the wide-table cutoff
+	// UnparsedDates counts datasets whose metadata_created matched no
+	// accepted layout; their publication date is left zero rather than
+	// silently skewing the growth analysis.
+	UnparsedDates int
+	// Retries counts retry attempts performed after transient
+	// failures.
+	Retries int
+	// TransientFailures counts request attempts that failed in a
+	// retryable way (5xx, timeout, truncated body), whether or not a
+	// later attempt succeeded.
+	TransientFailures int
+	// PermanentFailures counts requests that failed for good: a
+	// non-downloadable resource, or transient faults outlasting the
+	// retry budget.
+	PermanentFailures int
+	// Failures is the per-stage ledger of permanent failures, in
+	// deterministic (dataset, resource) order.
+	Failures []FetchFailure
+}
+
+// tally counts the request attempts behind one logical fetch.
+type tally struct {
+	attempts  int
+	retries   int
+	transient int
+}
+
+func (s *FunnelStats) add(t tally) {
+	s.Retries += t.retries
+	s.TransientFailures += t.transient
 }
 
 // FetchAll runs the pipeline over every dataset in the portal and
-// returns the readable tables along with funnel statistics.
+// returns the readable tables along with funnel statistics. It is
+// FetchAllContext with a background context.
 func (c *Client) FetchAll() ([]*FetchedTable, FunnelStats, error) {
+	return c.FetchAllContext(context.Background())
+}
+
+// FetchAllContext crawls the portal under ctx. Individual dataset or
+// resource failures are never fatal: transient ones are retried, and
+// permanent ones are recorded in the stats ledger and skipped, so the
+// crawl returns partial results. The only error conditions are an
+// unreachable package_list (there is nothing to crawl) and context
+// cancellation.
+func (c *Client) FetchAllContext(ctx context.Context) ([]*FetchedTable, FunnelStats, error) {
 	var stats FunnelStats
-	ids, err := c.packageList()
+	ids, lt, err := c.packageList(ctx)
+	stats.add(lt)
 	if err != nil {
+		stats.PermanentFailures++
+		stats.Failures = append(stats.Failures, FetchFailure{
+			Stage: StagePackageList, Attempts: lt.attempts, Err: err.Error(),
+		})
 		return nil, stats, err
 	}
 	stats.Datasets = len(ids)
 
-	var out []*FetchedTable
-	for _, id := range ids {
-		pkg, err := c.packageShow(id)
-		if err != nil {
-			return nil, stats, err
-		}
-		published, _ := time.Parse("2006-01-02T15:04:05", pkg.Created)
-		for _, res := range pkg.Resources {
-			if res.Format != "CSV" {
-				continue
-			}
-			stats.Tables++
-			body, ok := c.download(res.URL)
-			if !ok {
-				continue
-			}
-			stats.Downloadable++
+	// Stage 1: dataset metadata, fanned out index-addressed over the
+	// pool.
+	type showResult struct {
+		pkg   *packageJSON
+		tally tally
+		err   error
+	}
+	shows, err := parallel.Map(ctx, len(ids), c.Workers, func(i int) showResult {
+		pkg, t, err := c.packageShow(ctx, ids[i])
+		return showResult{pkg: pkg, tally: t, err: err}
+	})
+	if err != nil {
+		return nil, stats, err
+	}
 
-			ft, wide := c.process(res.ID, res.Name, body)
-			if wide {
-				stats.TooWide++
+	// Merge metadata in dataset order and flatten the advertised CSV
+	// resources into one work list, so stage 2 shares a single bounded
+	// pool across datasets of any shape.
+	type workItem struct {
+		pkg       *packageJSON
+		res       resourceJSON
+		published time.Time
+	}
+	var work []workItem
+	for i, sr := range shows {
+		stats.add(sr.tally)
+		if sr.err != nil {
+			stats.PermanentFailures++
+			stats.Failures = append(stats.Failures, FetchFailure{
+				Stage: StagePackageShow, DatasetID: ids[i],
+				Attempts: sr.tally.attempts, Err: sr.err.Error(),
+			})
+			continue
+		}
+		published, ok := parseCreated(sr.pkg.Created)
+		if !ok {
+			stats.UnparsedDates++
+		}
+		for _, res := range sr.pkg.Resources {
+			if !IsCSVFormat(res.Format) {
 				continue
 			}
-			if ft == nil {
-				continue
-			}
-			stats.Readable++
-			ft.DatasetID = pkg.ID
-			ft.DatasetTitle = pkg.Title
-			ft.Published = published
-			ft.Table.DatasetID = pkg.ID
-			out = append(out, ft)
+			work = append(work, workItem{pkg: sr.pkg, res: res, published: published})
 		}
 	}
+	stats.Tables = len(work)
+
+	// Stage 2: downloads and parsing over the same pool.
+	type fetchResult struct {
+		ft    *FetchedTable
+		wide  bool
+		tally tally
+		err   error
+	}
+	results, err := parallel.Map(ctx, len(work), c.Workers, func(i int) fetchResult {
+		w := work[i]
+		body, t, err := c.download(ctx, w.res.ID, w.res.URL)
+		r := fetchResult{tally: t, err: err}
+		if err != nil {
+			return r
+		}
+		r.ft, r.wide = c.process(w.res.ID, w.res.Name, body)
+		return r
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+
+	var out []*FetchedTable
+	for i, r := range results {
+		w := work[i]
+		stats.add(r.tally)
+		if r.err != nil {
+			stats.PermanentFailures++
+			stats.Failures = append(stats.Failures, FetchFailure{
+				Stage: StageDownload, DatasetID: w.pkg.ID, ResourceID: w.res.ID,
+				Attempts: r.tally.attempts, Err: r.err.Error(),
+			})
+			continue
+		}
+		stats.Downloadable++
+		if r.wide {
+			stats.TooWide++
+			continue
+		}
+		if r.ft == nil {
+			continue
+		}
+		stats.Readable++
+		r.ft.DatasetID = w.pkg.ID
+		r.ft.DatasetTitle = w.pkg.Title
+		r.ft.Published = w.published
+		r.ft.Table.DatasetID = w.pkg.ID
+		out = append(out, r.ft)
+	}
 	return out, stats, nil
+}
+
+// createdLayouts are the metadata_created shapes real portals emit:
+// CKAN's naive ISO-8601 with optional fractional seconds, RFC3339
+// (zoned, optional fractions), and bare dates.
+var createdLayouts = []string{
+	"2006-01-02T15:04:05",
+	"2006-01-02T15:04:05.999999999",
+	time.RFC3339Nano,
+	"2006-01-02",
+}
+
+func parseCreated(s string) (time.Time, bool) {
+	for _, layout := range createdLayouts {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return ts, true
+		}
+	}
+	return time.Time{}, false
 }
 
 // process runs sniffing, header inference and parsing over one
@@ -113,7 +311,7 @@ func (c *Client) process(resID, name string, body []byte) (*FetchedTable, bool) 
 	}
 	t, err := csvio.ReadWith(name, bytesReader(body), opts)
 	if err != nil {
-		if isWideError(err) {
+		if errors.Is(err, csvio.ErrTooWide) {
 			return nil, true
 		}
 		return nil, false
@@ -124,87 +322,146 @@ func (c *Client) process(resID, name string, body []byte) (*FetchedTable, bool) 
 	return &FetchedTable{Resource: resID, Table: t, RawSize: int64(len(body))}, false
 }
 
-func isWideError(err error) bool {
-	for err != nil {
-		if err == csvio.ErrTooWide {
-			return true
-		}
-		type unwrapper interface{ Unwrap() error }
-		u, ok := err.(unwrapper)
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
+func (c *Client) packageList(ctx context.Context) ([]string, tally, error) {
+	body, status, t, err := c.getWithRetry(ctx, "package_list", c.BaseURL+"/api/3/action/package_list")
+	if err != nil {
+		return nil, t, fmt.Errorf("ckan: package_list: %w", err)
 	}
-	return false
-}
-
-func (c *Client) packageList() ([]string, error) {
+	if status != http.StatusOK {
+		return nil, t, fmt.Errorf("ckan: package_list: status %d", status)
+	}
 	var resp struct {
 		Success bool     `json:"success"`
 		Result  []string `json:"result"`
 	}
-	if err := c.getJSON(c.BaseURL+"/api/3/action/package_list", &resp); err != nil {
-		return nil, err
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, t, fmt.Errorf("ckan: package_list: %w", err)
 	}
 	if !resp.Success {
-		return nil, fmt.Errorf("ckan: package_list unsuccessful")
+		return nil, t, fmt.Errorf("ckan: package_list unsuccessful")
 	}
-	return resp.Result, nil
+	return resp.Result, t, nil
 }
 
-func (c *Client) packageShow(id string) (*packageJSON, error) {
+func (c *Client) packageShow(ctx context.Context, id string) (*packageJSON, tally, error) {
+	u := c.BaseURL + "/api/3/action/package_show?id=" + url.QueryEscape(id)
+	body, status, t, err := c.getWithRetry(ctx, "package_show:"+id, u)
+	if err != nil {
+		return nil, t, fmt.Errorf("ckan: package_show(%s): %w", id, err)
+	}
+	if status != http.StatusOK {
+		return nil, t, fmt.Errorf("ckan: package_show(%s): status %d", id, status)
+	}
 	var resp struct {
 		Success bool        `json:"success"`
 		Result  packageJSON `json:"result"`
 	}
-	u := c.BaseURL + "/api/3/action/package_show?id=" + url.QueryEscape(id)
-	if err := c.getJSON(u, &resp); err != nil {
-		return nil, err
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, t, fmt.Errorf("ckan: package_show(%s): %w", id, err)
 	}
 	if !resp.Success {
-		return nil, fmt.Errorf("ckan: package_show(%s) unsuccessful", id)
+		return nil, t, fmt.Errorf("ckan: package_show(%s) unsuccessful", id)
 	}
-	return &resp.Result, nil
+	return &resp.Result, t, nil
 }
 
-// download fetches a resource URL; ok is true only for HTTP 200, the
-// paper's "downloadable" criterion.
-func (c *Client) download(resourceURL string) ([]byte, bool) {
+// download fetches a resource URL with retries. A non-nil error is the
+// permanent failure — non-200 status (the paper's "not downloadable"
+// criterion) or exhausted transport retries — recorded in the ledger.
+func (c *Client) download(ctx context.Context, resID, resourceURL string) ([]byte, tally, error) {
 	u := resourceURL
 	if len(u) > 0 && u[0] == '/' {
 		u = c.BaseURL + u
 	}
-	resp, err := c.httpClient().Get(u)
+	body, status, t, err := c.getWithRetry(ctx, "download:"+resID, u)
 	if err != nil {
-		return nil, false
+		return nil, t, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, false
+	if status != http.StatusOK {
+		return nil, t, fmt.Errorf("status %d", status)
 	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, false
-	}
-	return body, true
+	return body, t, nil
 }
 
-func (c *Client) getJSON(u string, v interface{}) error {
-	resp, err := c.httpClient().Get(u)
+// getWithRetry GETs u under the per-request deadline, retrying
+// transient failures — 5xx statuses, timeouts, connection errors,
+// truncated bodies — with deterministic exponential backoff. It
+// returns the final body and status; err is non-nil only when the
+// last attempt still failed transiently.
+func (c *Client) getWithRetry(ctx context.Context, key, u string) ([]byte, int, tally, error) {
+	base := c.backoffBase()
+	bo := parallel.Backoff{Base: base, Max: 32 * base, Seed: c.Seed}
+	retries := c.retryBudget()
+	var t tally
+	for attempt := 1; ; attempt++ {
+		t.attempts++
+		body, status, err := c.getOnce(ctx, u)
+		if err == nil && status < 500 {
+			return body, status, t, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("status %d", status)
+		}
+		t.transient++
+		if attempt > retries || ctx.Err() != nil {
+			return nil, status, t, err
+		}
+		t.retries++
+		if bo.Sleep(ctx, key, attempt) != nil {
+			return nil, status, t, err
+		}
+	}
+}
+
+func (c *Client) getOnce(ctx context.Context, u string) ([]byte, int, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, u, nil)
 	if err != nil {
-		return err
+		return nil, 0, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("ckan: GET %s: status %d", u, resp.StatusCode)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("reading body: %w", err)
 	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	return body, resp.StatusCode, nil
+}
+
+func (c *Client) retryBudget() int {
+	switch {
+	case c.Retries < 0:
+		return 0
+	case c.Retries == 0:
+		return DefaultRetries
+	}
+	return c.Retries
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (c *Client) backoffBase() time.Duration {
+	switch {
+	case c.Backoff < 0:
+		return 0
+	case c.Backoff == 0:
+		return DefaultBackoff
+	}
+	return c.Backoff
 }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }

@@ -3,12 +3,21 @@ package ckan
 import (
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"testing"
 )
 
-// TestClientServerErrors exercises the client against broken API
-// servers: the fetch pipeline must fail cleanly, never panic.
+// noRetryClient returns a client that never retries or waits, for
+// tests that exercise permanent-failure paths directly.
+func noRetryClient(base string) *Client {
+	c := NewClient(base)
+	c.Retries = -1
+	c.Backoff = -1
+	return c
+}
+
+// TestClientServerErrors exercises the client against portals whose
+// package_list endpoint is broken: with nothing to crawl, FetchAll
+// must fail cleanly (and record the failure), never panic.
 func TestClientServerErrors(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -32,17 +41,25 @@ func TestClientServerErrors(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			srv := httptest.NewServer(c.handler)
 			defer srv.Close()
-			client := NewClient(srv.URL)
-			_, _, err := client.FetchAll()
+			client := noRetryClient(srv.URL)
+			_, stats, err := client.FetchAll()
 			if err == nil {
-				t.Error("FetchAll should fail against a broken server")
+				t.Error("FetchAll should fail against a broken package_list")
+			}
+			if stats.PermanentFailures != 1 || len(stats.Failures) != 1 {
+				t.Errorf("stats = %+v, want one ledger entry", stats)
+			}
+			if len(stats.Failures) == 1 && stats.Failures[0].Stage != StagePackageList {
+				t.Errorf("stage = %q", stats.Failures[0].Stage)
 			}
 		})
 	}
 }
 
 // TestClientPackageShowFails covers a portal whose listing works but
-// whose package metadata endpoint is broken.
+// whose package metadata endpoint is broken: the crawl degrades to an
+// empty partial result with the failure on the ledger — it does not
+// abort.
 func TestClientPackageShowFails(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/3/action/package_list", func(w http.ResponseWriter, r *http.Request) {
@@ -53,14 +70,70 @@ func TestClientPackageShowFails(t *testing.T) {
 	})
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
-	if _, _, err := NewClient(srv.URL).FetchAll(); err == nil {
-		t.Error("expected error from broken package_show")
+	tables, stats, err := noRetryClient(srv.URL).FetchAll()
+	if err != nil {
+		t.Fatalf("a broken package_show must not abort the crawl: %v", err)
+	}
+	if len(tables) != 0 || stats.Datasets != 1 {
+		t.Errorf("tables = %d, stats = %+v", len(tables), stats)
+	}
+	if stats.PermanentFailures != 1 || len(stats.Failures) != 1 ||
+		stats.Failures[0].Stage != StagePackageShow || stats.Failures[0].DatasetID != "ds-1" {
+		t.Errorf("ledger = %+v", stats.Failures)
+	}
+}
+
+// TestClientPartialPackageShowFailure is the paper's graceful-
+// degradation requirement: one dataset's metadata endpoint 500s
+// permanently, the rest of the crawl still delivers its tables.
+func TestClientPartialPackageShowFailure(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/3/action/package_list", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"success": true, "result": ["ds-ok", "ds-dead"]}`))
+	})
+	mux.HandleFunc("/api/3/action/package_show", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("id") == "ds-dead" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"success": true, "result": {"id": "ds-ok", "title": "OK",
+			"metadata_created": "2020-01-01T00:00:00",
+			"resources": [{"id": "good", "name": "good.csv", "format": "CSV", "url": "/dl/good"}]}}`))
+	})
+	mux.HandleFunc("/dl/good", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("a,b\n1,2\n3,4\n"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	client.Retries = 1
+	client.Backoff = -1
+	tables, stats, err := client.FetchAll()
+	if err != nil {
+		t.Fatalf("one dead dataset must not abort the crawl: %v", err)
+	}
+	if len(tables) != 1 || tables[0].DatasetID != "ds-ok" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if stats.Datasets != 2 || stats.Tables != 1 || stats.Readable != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.PermanentFailures != 1 || len(stats.Failures) != 1 {
+		t.Fatalf("ledger = %+v", stats.Failures)
+	}
+	f := stats.Failures[0]
+	if f.Stage != StagePackageShow || f.DatasetID != "ds-dead" || f.Attempts != 2 {
+		t.Errorf("ledger entry = %+v", f)
+	}
+	if stats.TransientFailures != 2 || stats.Retries != 1 {
+		t.Errorf("retry accounting = %+v", stats)
 	}
 }
 
 // TestClientDownloadFailuresAreSkipped covers per-resource failures:
-// the pipeline drops the resource and continues, as the paper's
-// funnel semantics require.
+// the pipeline drops the resource, records it, and continues, as the
+// paper's funnel semantics require.
 func TestClientDownloadFailuresAreSkipped(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/3/action/package_list", func(w http.ResponseWriter, r *http.Request) {
@@ -96,7 +169,7 @@ func TestClientDownloadFailuresAreSkipped(t *testing.T) {
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
-	tables, stats, err := NewClient(srv.URL).FetchAll()
+	tables, stats, err := noRetryClient(srv.URL).FetchAll()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +181,13 @@ func TestClientDownloadFailuresAreSkipped(t *testing.T) {
 	}
 	if len(tables) != 1 || tables[0].Table.NumRows() != 2 {
 		t.Errorf("fetched = %v", tables)
+	}
+	// Both the 404 and the truncated download land on the ledger.
+	if stats.PermanentFailures != 2 || len(stats.Failures) != 2 {
+		t.Fatalf("ledger = %+v", stats.Failures)
+	}
+	if stats.Failures[0].ResourceID != "gone" || stats.Failures[1].ResourceID != "slowfail" {
+		t.Errorf("ledger order = %+v", stats.Failures)
 	}
 }
 
@@ -144,7 +224,7 @@ func TestClientRelativeAndAbsoluteURLs(t *testing.T) {
 }
 
 // TestClientNonCSVFormatsIgnored verifies only advertised-CSV
-// resources enter the funnel.
+// resources enter the funnel — but any spelling of CSV counts.
 func TestClientNonCSVFormatsIgnored(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/3/action/package_list", func(w http.ResponseWriter, r *http.Request) {
@@ -167,5 +247,4 @@ func TestClientNonCSVFormatsIgnored(t *testing.T) {
 	if stats.Tables != 0 {
 		t.Errorf("non-CSV resources entered the funnel: %+v", stats)
 	}
-	_ = strings.TrimSpace("")
 }

@@ -5,12 +5,22 @@
 // server and a fetch client that reproduces the paper's acquisition
 // pipeline (§2.2): metadata listing → download → type sniffing →
 // header inference → parsing, yielding the downloadable/readable
-// funnel reported in Table 1.
+// funnel reported in Table 1. The client fans requests out over a
+// bounded pool with deterministic retries; the server can inject
+// transient faults to exercise that machinery.
 package ckan
 
 import (
+	"strings"
 	"time"
 )
+
+// IsCSVFormat reports whether an advertised resource format means CSV,
+// tolerating the case and whitespace variants real CKAN metadata
+// contains ("CSV", "csv", " Csv ").
+func IsCSVFormat(format string) bool {
+	return strings.EqualFold(strings.TrimSpace(format), "csv")
+}
 
 // MetadataStyle classifies how a dataset documents its columns
 // (Table 3 of the paper).
@@ -102,7 +112,7 @@ func (p *Portal) NumTables() int {
 	n := 0
 	for _, d := range p.Datasets {
 		for _, r := range d.Resources {
-			if r.Format == "CSV" {
+			if IsCSVFormat(r.Format) {
 				n++
 			}
 		}

@@ -283,7 +283,7 @@ func RunPortal(corpus *gen.Corpus, opts Options) PortalResult {
 		func() { // ---- profiling (§3) ----
 			pc := profileCorpus(corpus)
 			if opts.FetchFunnel {
-				pc.Funnel = measureFunnel(corpus, opts.Seed)
+				pc.Funnel = measureFunnel(corpus, opts.Seed, opts.Workers)
 			}
 			pr.Sizes = profile.Sizes(pc, opts.Compress)
 			pr.SizePercentiles = profile.SizePercentiles(pc, []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
@@ -401,12 +401,15 @@ func profileCorpus(c *gen.Corpus) *profile.Corpus {
 }
 
 // measureFunnel serves the corpus through a CKAN API server and runs
-// the acquisition pipeline against it.
-func measureFunnel(corpus *gen.Corpus, seed int64) profile.FunnelCounts {
+// the acquisition pipeline against it. The fetch client shares the
+// study's worker bound and is deterministic for every value of it.
+func measureFunnel(corpus *gen.Corpus, seed int64, workers int) profile.FunnelCounts {
 	portal := gen.BuildPortal(corpus, seed)
 	srv := httptest.NewServer(ckan.NewServer(portal))
 	defer srv.Close()
 	client := ckan.NewClient(srv.URL)
+	client.Workers = workers
+	client.Seed = seed
 	_, st, err := client.FetchAll()
 	if err != nil {
 		return profile.FunnelCounts{}

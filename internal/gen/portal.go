@@ -14,8 +14,17 @@ import (
 // very wide tables at the profile's rates so a ckan.Client fetching
 // the portal observes the paper's downloadable/readable funnel
 // (Table 1). seed drives the placement of broken resources.
+// csvFormatVariants are the advertised-format spellings real CKAN
+// metadata uses for CSV resources; the fetch client must match them
+// case-insensitively.
+var csvFormatVariants = []string{"CSV", "csv", "Csv", " CSV", "csv "}
+
 func BuildPortal(c *Corpus, seed int64) *ckan.Portal {
 	rng := rand.New(rand.NewSource(seed))
+	// Format spellings draw from their own stream so they don't
+	// disturb the broken-resource placement of existing seeds.
+	frng := rand.New(rand.NewSource(seed ^ 0x43535646))
+	format := func() string { return csvFormatVariants[frng.Intn(len(csvFormatVariants))] }
 	p := &ckan.Portal{Name: c.PortalName}
 
 	byDataset := make(map[string][]*TableMeta)
@@ -43,7 +52,7 @@ func BuildPortal(c *Corpus, seed int64) *ckan.Portal {
 			d.Resources = append(d.Resources, &ckan.Resource{
 				ID:     id,
 				Name:   m.Table.Name,
-				Format: "CSV",
+				Format: format(),
 				URL:    "/download/" + id,
 				Body:   csvio.Bytes(m.Table),
 			})
@@ -69,7 +78,7 @@ func BuildPortal(c *Corpus, seed int64) *ckan.Portal {
 				r := &ckan.Resource{
 					ID:     id,
 					Name:   fmt.Sprintf("archived-%d.csv", resCounter),
-					Format: "CSV",
+					Format: format(),
 					URL:    "/download/" + id,
 					Broken: kind,
 				}

@@ -21,11 +21,13 @@ func TestBuildPortalStructure(t *testing.T) {
 	}
 
 	var good, broken, wide int
+	spellings := map[string]bool{}
 	for _, d := range portal.Datasets {
 		for _, r := range d.Resources {
-			if r.Format != "CSV" {
+			if !ckan.IsCSVFormat(r.Format) {
 				t.Errorf("unexpected format %q", r.Format)
 			}
+			spellings[r.Format] = true
 			switch r.Broken {
 			case ckan.BrokenNone:
 				if len(r.Body) == 0 {
@@ -52,6 +54,11 @@ func TestBuildPortalStructure(t *testing.T) {
 	}
 	if wide == 0 {
 		t.Error("CA portal should contain wide filler tables")
+	}
+	// Real CKAN metadata spells the format inconsistently; the portal
+	// must exercise the client's case-insensitive matching.
+	if len(spellings) < 2 {
+		t.Errorf("formats = %v, want mixed-case CSV spellings", spellings)
 	}
 }
 

@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// Hash01 maps (seed, key, n) to a uniform float64 in [0, 1) through a
+// 64-bit FNV-1a hash. It is a pure function, so concurrent callers can
+// make reproducible pseudo-random decisions (retry jitter, injected
+// fault schedules) without sharing a rand.Rand or depending on call
+// order — the same properties the pool's per-index rng streams give
+// the analysis layers.
+func Hash01(seed int64, key string, n int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+	// Keep 53 bits so the quotient is exact in a float64.
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Backoff is a deterministic exponential backoff policy with seeded
+// jitter. Delay is a pure function of (Seed, key, attempt): the
+// nominal delay doubles per attempt and is jittered to 50–150% of that
+// value by Hash01, so retry schedules are byte-reproducible across
+// runs and independent of goroutine interleaving.
+type Backoff struct {
+	// Base is the nominal delay before the first retry; later retries
+	// double it. Zero or negative disables waiting entirely.
+	Base time.Duration
+	// Max caps the nominal (pre-jitter) delay. Zero means no cap.
+	Max time.Duration
+	// Seed salts the jitter hash.
+	Seed int64
+}
+
+// Delay returns the jittered pause before retry attempt (1-based) of
+// the work unit identified by key.
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	if b.Base <= 0 || attempt < 1 {
+		return 0
+	}
+	d := b.Base
+	for i := 1; i < attempt; i++ {
+		if b.Max > 0 && d >= b.Max {
+			break
+		}
+		if d > (1<<62)/2*time.Nanosecond {
+			break
+		}
+		d *= 2
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	jitter := 0.5 + Hash01(b.Seed, key, attempt)
+	return time.Duration(float64(d) * jitter)
+}
+
+// Sleep blocks for Delay(key, attempt) or until ctx is done, in which
+// case it returns ctx.Err() immediately.
+func (b Backoff) Sleep(ctx context.Context, key string, attempt int) error {
+	d := b.Delay(key, attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestHash01RangeAndDeterminism(t *testing.T) {
+	seen := map[float64]bool{}
+	for n := 0; n < 1000; n++ {
+		v := Hash01(7, "key", n)
+		if v < 0 || v >= 1 {
+			t.Fatalf("Hash01(7, key, %d) = %v out of [0,1)", n, v)
+		}
+		if v != Hash01(7, "key", n) {
+			t.Fatalf("Hash01 not deterministic at n=%d", n)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("Hash01 spread too low: %d distinct of 1000", len(seen))
+	}
+	if Hash01(1, "a", 0) == Hash01(2, "a", 0) && Hash01(1, "a", 1) == Hash01(2, "a", 1) {
+		t.Error("Hash01 ignores seed")
+	}
+	if Hash01(1, "a", 0) == Hash01(1, "b", 0) && Hash01(1, "a", 1) == Hash01(1, "b", 1) {
+		t.Error("Hash01 ignores key")
+	}
+}
+
+func TestBackoffDelayExponentialWithJitter(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Seed: 3}
+	for attempt := 1; attempt <= 6; attempt++ {
+		nominal := b.Base << (attempt - 1)
+		if nominal > b.Max {
+			nominal = b.Max
+		}
+		d := b.Delay("unit", attempt)
+		if d != b.Delay("unit", attempt) {
+			t.Fatalf("Delay not deterministic at attempt %d", attempt)
+		}
+		if d < nominal/2 || d > nominal*3/2 {
+			t.Errorf("attempt %d: delay %v outside 50–150%% of %v", attempt, d, nominal)
+		}
+	}
+	if d := (Backoff{}).Delay("unit", 3); d != 0 {
+		t.Errorf("zero-value Backoff delay = %v, want 0", d)
+	}
+	if d := b.Delay("unit", 0); d != 0 {
+		t.Errorf("attempt 0 delay = %v, want 0", d)
+	}
+	a1, b1 := b.Delay("a", 1), b.Delay("b", 1)
+	a2, b2 := b.Delay("a", 2), b.Delay("b", 2)
+	if a1 == b1 && a2 == b2 {
+		t.Error("jitter ignores the work-unit key")
+	}
+}
+
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := Backoff{Base: time.Hour, Seed: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.Sleep(ctx, "unit", 1); err == nil {
+		t.Error("Sleep on canceled context should return the context error")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Sleep ignored cancellation")
+	}
+	// A disabled backoff returns without waiting.
+	if err := (Backoff{}).Sleep(context.Background(), "unit", 1); err != nil {
+		t.Errorf("zero-value Sleep = %v", err)
+	}
+}

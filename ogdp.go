@@ -15,10 +15,11 @@
 //
 // # Concurrency
 //
-// The study and the join search share a deterministic parallel
-// execution layer (a bounded worker pool in internal/parallel),
-// controlled by StudyOptions.Workers and JoinOptions.Workers: 0 uses
-// all CPUs, 1 runs sequentially. Every parallel unit draws from an
+// The study, the join search, and the CKAN acquisition client share a
+// deterministic parallel execution layer (a bounded worker pool in
+// internal/parallel), controlled by StudyOptions.Workers,
+// JoinOptions.Workers and FetchClient.Workers: 0 uses all CPUs, 1
+// runs sequentially. Every parallel unit draws from an
 // index-derived rng stream and merged outputs are restored to the
 // sequential order, so results are byte-identical for every worker
 // count — raising Workers only changes wall-clock time. Tables are
@@ -35,6 +36,7 @@ import (
 	"math/rand"
 	"os"
 
+	"ogdp/internal/ckan"
 	"ogdp/internal/classify"
 	"ogdp/internal/core"
 	"ogdp/internal/csvio"
@@ -114,6 +116,28 @@ type (
 	FuzzyUnionPair = union.FuzzyPair
 	// IND is a unary inclusion dependency (foreign-key shape).
 	IND = ind.IND
+	// FetchClient acquires a portal's CSV resources through the CKAN
+	// API with bounded concurrency, per-request deadlines, and
+	// deterministic retries for transient failures.
+	FetchClient = ckan.Client
+	// FetchedTable is a resource that survived the acquisition funnel.
+	FetchedTable = ckan.FetchedTable
+	// FunnelStats counts the acquisition funnel stages (Table 1) plus
+	// the crawl's retry and partial-failure accounting.
+	FunnelStats = ckan.FunnelStats
+	// FetchFailure is one permanently failed request in the
+	// acquisition error ledger.
+	FetchFailure = ckan.FetchFailure
+	// CKANPortal is a servable portal: datasets holding resources.
+	CKANPortal = ckan.Portal
+	// CKANServer serves a portal over the CKAN Action API v3, with
+	// optional per-endpoint fault injection.
+	CKANServer = ckan.Server
+	// Faults configures a CKANServer's injected failures per endpoint.
+	Faults = ckan.Faults
+	// FaultSpec describes one endpoint's injected failures (transient
+	// 500s, truncated bodies, latency).
+	FaultSpec = ckan.FaultSpec
 )
 
 // Labels.
@@ -255,6 +279,21 @@ func DictionaryCoverage(d *Dictionary, t *Table) float64 { return dict.Coverage(
 func DatasetMetadataDoc(c *Corpus, datasetID string, seed int64) (string, bool) {
 	return gen.MetadataDoc(c, datasetID, seed)
 }
+
+// NewFetchClient creates an acquisition client for the CKAN API at
+// baseURL. Configure FetchClient.Workers/Retries/Timeout before
+// calling FetchAll; results are byte-identical for every worker count.
+func NewFetchClient(baseURL string) *FetchClient { return ckan.NewClient(baseURL) }
+
+// NewCKANServer serves p over the CKAN Action API v3 surface the
+// fetch client crawls. Use CKANServer.InjectFaults to simulate a
+// flaky portal.
+func NewCKANServer(p *CKANPortal) *CKANServer { return ckan.NewServer(p) }
+
+// BuildCKANPortal serializes a corpus into a servable portal,
+// planting broken resources (404s, HTML pages, garbage, wide tables)
+// at the profile's calibrated rates.
+func BuildCKANPortal(c *Corpus, seed int64) *CKANPortal { return gen.BuildPortal(c, seed) }
 
 // NewSearchEngine indexes a corpus for query-table discovery with the
 // paper's distinct-value filter.
