@@ -1,0 +1,36 @@
+// Package cli holds the small helpers shared by the ogdp command-line
+// tools. It lives under cmd/ on purpose: the tools report
+// operator-facing wall-clock timing, which the detrand analyzer bans
+// from the study packages, so the clock reads are concentrated here
+// instead of being re-typed in every main.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Stopwatch measures a command's elapsed wall time.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start begins timing a command run.
+func Start() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the time since Start, rounded to the millisecond —
+// the resolution every tool prints.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start).Round(time.Millisecond)
+}
+
+// PrintCompleted writes the standard trailing timing line
+// ("\ncompleted in 1.234s\n") all tools share. Verification recipes
+// strip this line before diffing runs, so keeping the one spelling
+// here is what keeps those recipes honest.
+func (s Stopwatch) PrintCompleted(w io.Writer) {
+	fmt.Fprintf(w, "\ncompleted in %v\n", s.Elapsed())
+}

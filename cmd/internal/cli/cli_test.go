@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestPrintCompletedFormat(t *testing.T) {
+	var b strings.Builder
+	Start().PrintCompleted(&b)
+	// The exact spelling is load-bearing: the verify recipe and the
+	// determinism diffs strip `grep -v "completed in"` lines.
+	if !regexp.MustCompile(`^\ncompleted in [0-9]`).MatchString(b.String()) {
+		t.Errorf("unexpected timing line %q", b.String())
+	}
+	if !strings.HasSuffix(b.String(), "\n") {
+		t.Errorf("timing line must end with a newline: %q", b.String())
+	}
+}
+
+func TestElapsedRounding(t *testing.T) {
+	d := Start().Elapsed()
+	if d < 0 {
+		t.Errorf("elapsed went backwards: %v", d)
+	}
+	if d.Nanoseconds()%int64(1e6) != 0 {
+		t.Errorf("elapsed %v is not rounded to milliseconds", d)
+	}
+}

@@ -9,11 +9,10 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"time"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/core"
 	"ogdp/internal/gen"
 	"ogdp/internal/report"
@@ -28,7 +27,7 @@ func main() {
 	maxTables := flag.Int("max-tables", 0, "cap the FD-analysis subset (0 = all eligible tables)")
 	flag.Parse()
 
-	start := time.Now()
+	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
 		Scale:       *scale,
 		Seed:        *seed,
@@ -37,5 +36,5 @@ func main() {
 	report.Figure6(os.Stdout, res)
 	report.Table5(os.Stdout, res)
 	report.Figure7(os.Stdout, res)
-	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	sw.PrintCompleted(os.Stdout)
 }

@@ -23,8 +23,8 @@ import (
 	"log"
 	"net"
 	"net/http"
-	"time"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/ckan"
 	"ogdp/internal/gen"
 )
@@ -86,7 +86,7 @@ func main() {
 		client.Retries = *retries
 	}
 
-	start := time.Now()
+	sw := cli.Start()
 	tables, stats, err := client.FetchAll()
 	if err != nil {
 		log.Fatal(err)
@@ -110,7 +110,7 @@ func main() {
 		rows += ft.Table.NumRows()
 		cols += ft.Table.NumCols()
 	}
-	fmt.Printf("parsed: %d tables, %d columns, %d rows in %v\n", len(tables), cols, rows, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("parsed: %d tables, %d columns, %d rows in %v\n", len(tables), cols, rows, sw.Elapsed())
 
 	if *serve != "" {
 		fmt.Printf("serving until interrupted: try %s/api/3/action/package_list\n", base)

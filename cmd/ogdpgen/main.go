@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/csvio"
 	"ogdp/internal/gen"
 )
@@ -50,6 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	sw := cli.Start()
 	corpus := gen.Generate(prof, *scale, *seed)
 	styleNames := []string{"lacking", "structured", "unstructured", "outside"}
 
@@ -96,4 +98,5 @@ func main() {
 
 	fmt.Printf("wrote %d datasets, %d tables (%.1f MiB) to %s\n",
 		len(corpus.Datasets), len(corpus.Metas), float64(totalBytes)/(1<<20), *out)
+	sw.PrintCompleted(os.Stdout)
 }

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sort"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/diskcorpus"
 	"ogdp/internal/fd"
 	"ogdp/internal/join"
@@ -40,6 +42,7 @@ func main() {
 		log.Fatal("-dir is required")
 	}
 
+	sw := cli.Start()
 	c, err := diskcorpus.Load(*dir)
 	if err != nil {
 		log.Fatal(err)
@@ -55,6 +58,7 @@ func main() {
 	printKeysAndFDs(tables, *maxFD)
 	printJoins(tables, *topJoins)
 	printUnions(tables)
+	sw.PrintCompleted(os.Stdout)
 }
 
 func printProfile(tables []*table.Table) {
@@ -69,7 +73,7 @@ func printProfile(tables []*table.Table) {
 			if r > 0 {
 				nullCols++
 			}
-			if r == 1 {
+			if stats.ApproxEq(r, 1) {
 				allNull++
 			}
 		}

@@ -11,11 +11,10 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"time"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/core"
 	"ogdp/internal/gen"
 	"ogdp/internal/report"
@@ -31,7 +30,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
 	flag.Parse()
 
-	start := time.Now()
+	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
 		Scale:         *scale,
 		Seed:          *seed,
@@ -46,5 +45,5 @@ func main() {
 	report.Table9(os.Stdout, res)
 	report.Table10(os.Stdout, res)
 	report.PredictorReport(os.Stdout, res)
-	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	sw.PrintCompleted(os.Stdout)
 }

@@ -1,0 +1,125 @@
+// Command ogdplint runs the repo's determinism-aware static-analysis
+// suite (internal/analyze) over the module: it loads every non-test
+// package, type-checks it against the standard library from source
+// (no toolchain artifacts, no external dependencies), runs all
+// registered checks, prints findings as "file:line: [check] message",
+// and exits non-zero if any survive suppression.
+//
+// Suppress a finding with a justification comment on the offending
+// line or on the enclosing function declaration:
+//
+//	t := time.Now() //lint:allow(detrand) boot stamp, never compared
+//
+// Usage:
+//
+//	ogdplint ./...              # whole module (default)
+//	ogdplint ./internal/join    # restrict findings to a subtree
+//	ogdplint -list              # describe the checks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ogdp/internal/analyze"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ogdplint: ")
+
+	list := flag.Bool("list", false, "list registered checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range analyze.Checks() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := moduleRoot(cwd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prefixes, err := pathFilters(flag.Args(), cwd, root)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prog, err := analyze.NewLoader().Load(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	findings := analyze.Run(prog.Pkgs, analyze.Checks())
+	printed := 0
+	for _, f := range findings {
+		if !underAny(f.Pos.Filename, prefixes) {
+			continue
+		}
+		fmt.Println(f.RelativeTo(cwd))
+		printed++
+	}
+	if printed > 0 {
+		log.Fatalf("%d finding(s)", printed)
+	}
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+	}
+}
+
+// pathFilters turns package-pattern arguments into absolute directory
+// prefixes findings must live under. "./..." (and no arguments) means
+// the whole module; "./internal/join" or "./internal/join/..."
+// restricts output to that subtree. The full module is always loaded
+// and checked — a pattern only filters what is printed, it cannot
+// hide findings by skipping type-checking.
+func pathFilters(args []string, cwd, root string) ([]string, error) {
+	if len(args) == 0 {
+		return []string{root}, nil
+	}
+	var prefixes []string
+	for _, arg := range args {
+		p := strings.TrimSuffix(strings.TrimSuffix(arg, "..."), "/")
+		if p == "." || p == "" {
+			prefixes = append(prefixes, root)
+			continue
+		}
+		abs := p
+		if !filepath.IsAbs(p) {
+			abs = filepath.Join(cwd, p)
+		}
+		if _, err := os.Stat(abs); err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", arg, err)
+		}
+		prefixes = append(prefixes, abs)
+	}
+	return prefixes, nil
+}
+
+func underAny(file string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if file == p || strings.HasPrefix(file, strings.TrimSuffix(p, "/")+"/") {
+			return true
+		}
+	}
+	return false
+}

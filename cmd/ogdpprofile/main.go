@@ -9,11 +9,10 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"time"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/core"
 	"ogdp/internal/gen"
 	"ogdp/internal/report"
@@ -29,7 +28,7 @@ func main() {
 	funnel := flag.Bool("funnel", true, "measure the download funnel over HTTP")
 	flag.Parse()
 
-	start := time.Now()
+	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
 		Scale:       *scale,
 		Seed:        *seed,
@@ -46,5 +45,5 @@ func main() {
 	report.Table3(os.Stdout, res)
 	report.Figure5(os.Stdout, res)
 	report.Table4(os.Stdout, res)
-	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	sw.PrintCompleted(os.Stdout)
 }

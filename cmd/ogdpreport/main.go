@@ -13,8 +13,8 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/core"
 	"ogdp/internal/gen"
 	"ogdp/internal/report"
@@ -46,10 +46,10 @@ func main() {
 		opts.Extensions = false
 	}
 
-	start := time.Now()
+	sw := cli.Start()
 	res := core.Run(gen.Profiles(), opts)
 	report.All(os.Stdout, res)
 	report.Summary(os.Stdout, res)
 	fmt.Printf("\nfull study completed in %v (scale %.2f, seed %d)\n",
-		time.Since(start).Round(time.Millisecond), *scale, *seed)
+		sw.Elapsed(), *scale, *seed)
 }

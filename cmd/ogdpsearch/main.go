@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/diskcorpus"
 	"ogdp/internal/minhash"
 	"ogdp/internal/rank"
@@ -37,6 +39,7 @@ func main() {
 		log.Fatal("-dir and -query are required")
 	}
 
+	sw := cli.Start()
 	c, err := diskcorpus.Load(*dir)
 	if err != nil {
 		log.Fatal(err)
@@ -93,7 +96,6 @@ func main() {
 	ranked := rank.RankUnionCandidates(ua, queryIdx, rank.UnionWeights{})
 	if len(ranked) == 0 {
 		fmt.Println("  none")
-		return
 	}
 	for i, r := range ranked {
 		if i == *k {
@@ -101,6 +103,7 @@ func main() {
 		}
 		fmt.Printf("  score=%.2f  %s\n", r.Score, tables[r.Table].Name)
 	}
+	sw.PrintCompleted(os.Stdout)
 }
 
 func pickColumn(t *table.Table, name string) int {

@@ -8,11 +8,10 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"time"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/core"
 	"ogdp/internal/gen"
 	"ogdp/internal/report"
@@ -27,7 +26,7 @@ func main() {
 	samples := flag.Int("samples", 25, "union pairs labeled per portal")
 	flag.Parse()
 
-	start := time.Now()
+	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
 		Scale:        *scale,
 		Seed:         *seed,
@@ -36,5 +35,5 @@ func main() {
 	})
 	report.Table11(os.Stdout, res)
 	report.UnionLabels(os.Stdout, res)
-	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	sw.PrintCompleted(os.Stdout)
 }

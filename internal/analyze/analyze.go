@@ -1,0 +1,235 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a check.
+type Finding struct {
+	// Pos locates the offending node.
+	Pos token.Position
+	// Check is the name of the check that produced the finding
+	// ("detrand"), or "allow" for malformed suppression comments.
+	Check string
+	// Msg describes the violation and the fix direction.
+	Msg string
+}
+
+// String formats the finding as "file:line: [check] message", the
+// shape ogdplint prints and golden files record.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// RelativeTo returns a copy of the finding with its filename made
+// relative to base when possible, for stable output across machines.
+func (f Finding) RelativeTo(base string) Finding {
+	if base == "" {
+		return f
+	}
+	if rel, ok := strings.CutPrefix(f.Pos.Filename, strings.TrimSuffix(base, "/")+"/"); ok {
+		f.Pos.Filename = rel
+	}
+	return f
+}
+
+// Check is one analyzer: a name (the token suppression comments
+// reference), a one-line invariant statement, and a Run function that
+// reports findings through the Pass.
+type Check struct {
+	Name string
+	// Doc states the invariant the check encodes.
+	Doc string
+	Run func(*Pass)
+}
+
+// Pass is the per-(check, package) run state handed to Check.Run.
+type Pass struct {
+	Check *Check
+	Pkg   *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:   p.Pkg.Fset.Position(pos),
+		Check: p.Check.Name,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every check over every package, applies
+// //lint:allow(<check>) suppressions, and returns the surviving
+// findings sorted by file, line, column, and check name. Malformed
+// suppression comments (unknown check names) are reported as findings
+// of the pseudo-check "allow" and cannot themselves be suppressed.
+func Run(pkgs []*Package, checks []*Check) []Finding {
+	known := map[string]bool{}
+	for _, c := range checks {
+		known[c.Name] = true
+	}
+
+	var all []Finding
+	for _, pkg := range pkgs {
+		sup, badAllows := suppressions(pkg, known)
+		var raw []Finding
+		for _, c := range checks {
+			c.Run(&Pass{Check: c, Pkg: pkg, findings: &raw})
+		}
+		for _, f := range raw {
+			if !sup.allows(f) {
+				all = append(all, f)
+			}
+		}
+		all = append(all, badAllows...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return all
+}
+
+// allowRE matches //lint:allow(name) and //lint:allow(a, b) comments;
+// trailing justification text after the closing parenthesis is
+// encouraged and ignored.
+var allowRE = regexp.MustCompile(`^//\s*lint:allow\(([^)]*)\)`)
+
+// allowRule grants named checks a blind spot over a line range of one
+// file: the comment's own line, or — when the comment sits in a
+// function declaration's doc comment or on its first line — the whole
+// declaration.
+type allowRule struct {
+	file     string
+	from, to int // inclusive line range
+	checks   map[string]bool
+}
+
+type suppressionSet struct {
+	rules []allowRule
+}
+
+func (s suppressionSet) allows(f Finding) bool {
+	for _, r := range s.rules {
+		if r.checks[f.Check] && r.file == f.Pos.Filename && r.from <= f.Pos.Line && f.Pos.Line <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions scans a package's comments for //lint:allow directives.
+// It returns the resulting rule set plus one "allow" finding per
+// unknown check name, so a typo in a suppression surfaces instead of
+// silently suppressing nothing.
+func suppressions(pkg *Package, known map[string]bool) (suppressionSet, []Finding) {
+	var set suppressionSet
+	var bad []Finding
+	for _, file := range pkg.Files {
+		// Map each line of a function declaration's doc comment
+		// (and its opening line) to the declaration's full range,
+		// so an allow there covers the whole function.
+		funcRange := map[int][2]int{}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			from := pkg.Fset.Position(fd.Pos()).Line
+			to := pkg.Fset.Position(fd.End()).Line
+			funcRange[from] = [2]int{from, to}
+			if fd.Doc != nil {
+				for l := pkg.Fset.Position(fd.Doc.Pos()).Line; l < from; l++ {
+					funcRange[l] = [2]int{from, to}
+				}
+			}
+		}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rule := allowRule{file: pos.Filename, from: pos.Line, to: pos.Line, checks: map[string]bool{}}
+				if r, ok := funcRange[pos.Line]; ok {
+					rule.from, rule.to = r[0], r[1]
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					if !known[name] {
+						bad = append(bad, Finding{
+							Pos:   pos,
+							Check: "allow",
+							Msg:   fmt.Sprintf("unknown check %q in //lint:allow comment", name),
+						})
+						continue
+					}
+					rule.checks[name] = true
+				}
+				if len(rule.checks) > 0 {
+					set.rules = append(set.rules, rule)
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// funcBodies returns every function body in the file — declarations
+// and literals — paired with its position extent, innermost-last for
+// any given position.
+type funcBody struct {
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+func funcBodies(file *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{fn, fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{fn, fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingFunc returns the innermost function body containing pos,
+// or nil.
+func enclosingFunc(bodies []funcBody, pos token.Pos) *funcBody {
+	var best *funcBody
+	for i := range bodies {
+		b := &bodies[i]
+		if b.body.Pos() <= pos && pos < b.body.End() {
+			if best == nil || (best.body.Pos() <= b.body.Pos() && b.body.End() <= best.body.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}

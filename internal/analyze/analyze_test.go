@@ -1,0 +1,234 @@
+package analyze
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current findings")
+
+// testLoader is shared across tests so each stdlib package is
+// type-checked from source at most once per test process.
+var testLoader = sync.OnceValue(NewLoader)
+
+// fixturePaths assigns import paths to fixtures that need one with
+// meaning: detrand only fires inside study packages, so its fixture
+// is loaded as ogdp/internal/gen. Everything else gets fix/<name>.
+var fixturePaths = map[string]string{
+	"detrand": "ogdp/internal/gen",
+}
+
+// fixtureChecks names the checks to run over a fixture. The suppress
+// fixture runs the full suite (its point is cross-check selectivity);
+// every other fixture runs only its namesake.
+func fixtureChecks(t *testing.T, name string) []*Check {
+	if name == "suppress" {
+		return Checks()
+	}
+	c := CheckByName(name)
+	if c == nil {
+		t.Fatalf("fixture %q has no registered check of that name", name)
+	}
+	return []*Check{c}
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	path, ok := fixturePaths[name]
+	if !ok {
+		path = "fix/" + name
+	}
+	pkg, err := testLoader().LoadDir(filepath.Join("testdata", "src", name), path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+func fixtureFindings(t *testing.T, name string) []Finding {
+	t.Helper()
+	base, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := Run([]*Package{loadFixture(t, name)}, fixtureChecks(t, name))
+	out := make([]Finding, len(raw))
+	for i, f := range raw {
+		out[i] = f.RelativeTo(base)
+	}
+	return out
+}
+
+// TestGolden runs each check over its fixture and compares the
+// formatted, suppression-filtered findings against the .golden file
+// in the fixture directory. Regenerate with: go test -run Golden
+// -update ./internal/analyze
+func TestGolden(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			var lines []string
+			for _, f := range fixtureFindings(t, name) {
+				lines = append(lines, f.String())
+			}
+			got := strings.Join(lines, "\n") + "\n"
+			goldenPath := filepath.Join("testdata", "src", name, name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings diverge from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// findingsAt filters findings to one check name.
+func findingsAt(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fixtureLine returns the 1-based line of the first source line in
+// the fixture containing substr, so tests don't hardcode line numbers.
+func fixtureLine(t *testing.T, name, substr string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "src", name, name+".go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range strings.Split(string(data), "\n") {
+		if strings.Contains(l, substr) {
+			return i + 1
+		}
+	}
+	t.Fatalf("fixture %s has no line containing %q", name, substr)
+	return 0
+}
+
+// TestSuppressionLineSelective: a //lint:allow(floatcmp) on a line
+// carrying both a floatcmp and a wraperr finding silences exactly
+// floatcmp; wraperr must survive on that same line.
+func TestSuppressionLineSelective(t *testing.T) {
+	fs := fixtureFindings(t, "suppress")
+	var wraperrLines, floatcmpLines []int
+	for _, f := range findingsAt(fs, "wraperr") {
+		wraperrLines = append(wraperrLines, f.Pos.Line)
+	}
+	for _, f := range findingsAt(fs, "floatcmp") {
+		floatcmpLines = append(floatcmpLines, f.Pos.Line)
+	}
+	line := fixtureLine(t, "suppress", "exact compare intended")
+	if !containsInt(wraperrLines, line) {
+		t.Errorf("wraperr finding on line %d was lost (lines with wraperr: %v)", line, wraperrLines)
+	}
+	if containsInt(floatcmpLines, line) {
+		t.Errorf("floatcmp finding on line %d survived its //lint:allow", line)
+	}
+}
+
+// TestSuppressionFunctionScope: an allow in the doc comment covers the
+// whole function for that check only, and ends with the function.
+func TestSuppressionFunctionScope(t *testing.T) {
+	fs := fixtureFindings(t, "suppress")
+	funcStart := fixtureLine(t, "suppress", "func funcScoped")
+	funcEnd := fixtureLine(t, "suppress", "// Comma lists")
+	for _, f := range findingsAt(fs, "floatcmp") {
+		if funcStart <= f.Pos.Line && f.Pos.Line < funcEnd {
+			t.Errorf("floatcmp finding inside funcScoped (line %d) survived the function-level allow", f.Pos.Line)
+		}
+	}
+	wrapLine := fixtureLine(t, "suppress", "wraperr still reported")
+	var wraperrLines []int
+	for _, f := range findingsAt(fs, "wraperr") {
+		wraperrLines = append(wraperrLines, f.Pos.Line)
+	}
+	if !containsInt(wraperrLines, wrapLine) {
+		t.Errorf("wraperr inside funcScoped should survive the floatcmp-only allow; wraperr lines: %v", wraperrLines)
+	}
+	// afterScoped's exact compare sits past the allowed function and
+	// must be reported again.
+	afterLine := fixtureLine(t, "suppress", "previous function's allow ended")
+	var floatcmpLines []int
+	for _, f := range findingsAt(fs, "floatcmp") {
+		floatcmpLines = append(floatcmpLines, f.Pos.Line)
+	}
+	if !containsInt(floatcmpLines, afterLine) {
+		t.Error("function-level allow leaked past the end of its function")
+	}
+}
+
+// TestSuppressionUnknownName: a typo'd check name in an allow comment
+// is itself reported, as pseudo-check "allow".
+func TestSuppressionUnknownName(t *testing.T) {
+	fs := fixtureFindings(t, "suppress")
+	bad := findingsAt(fs, "allow")
+	if len(bad) != 1 {
+		t.Fatalf("want exactly one unknown-name diagnostic, got %v", bad)
+	}
+	if !strings.Contains(bad[0].Msg, "nosuchcheck") {
+		t.Errorf("diagnostic should quote the unknown name: %s", bad[0].Msg)
+	}
+}
+
+// TestCommaList: one comment naming several checks silences each of
+// them on its line.
+func TestCommaList(t *testing.T) {
+	fs := fixtureFindings(t, "suppress")
+	line := fixtureLine(t, "suppress", "both intended here")
+	for _, f := range fs {
+		if f.Pos.Line == line {
+			t.Errorf("finding on the comma-list allow line survived: %s", f)
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckDocs: every registered check has a name and an invariant
+// statement, and names are unique (suppressions address them).
+func TestCheckDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Checks() {
+		if c.Name == "" || c.Doc == "" || c.Run == nil {
+			t.Errorf("check %+v is missing name, doc, or run", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate check name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if seen["allow"] {
+		t.Error(`"allow" is reserved for the suppression scanner`)
+	}
+}

@@ -1,0 +1,56 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxfirstCheck pins the ckan client's calling convention: a function
+// that takes a context.Context takes it as the first parameter, the
+// way the fetch pipeline and internal/parallel entry points already
+// do, so deadlines thread uniformly through new call layers.
+var ctxfirstCheck = &Check{
+	Name: "ctxfirst",
+	Doc:  "functions taking a context.Context take it as the first parameter",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) {
+	info := p.Pkg.Info
+	inspectAll(p, func(n ast.Node) bool {
+		var ft *ast.FuncType
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			return true
+		}
+		if ft.Params == nil {
+			return true
+		}
+		idx := 0
+		for _, field := range ft.Params.List {
+			names := len(field.Names)
+			if names == 0 {
+				names = 1 // unnamed parameter
+			}
+			if isContextType(info.TypeOf(field.Type)) && idx > 0 {
+				p.Reportf(field.Pos(), "context.Context is parameter %d; it must come first (ckan client convention)", idx+1)
+				return true
+			}
+			idx += names
+		}
+		return true
+	})
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,72 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrandCheck enforces the study packages' reproducibility contract:
+// no wall-clock reads and no global math/rand state. Every random
+// draw must flow through a seeded *rand.Rand owned by the work unit
+// (the per-section/per-index streams internal/parallel callers carve
+// out), so reruns and worker-count changes cannot move a single
+// value. Constructors that build such streams (rand.New,
+// rand.NewSource, ...) are fine; the package-level convenience
+// functions draw from a process-global source and are not.
+var detrandCheck = &Check{
+	Name: "detrand",
+	Doc:  "study packages must not read the wall clock or the global math/rand source; use seeded per-unit *rand.Rand streams",
+	Run:  runDetrand,
+}
+
+// seededConstructors are the math/rand (and math/rand/v2) functions
+// that build an explicitly-seeded generator rather than drawing from
+// the global one.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// wallClockFuncs are the package-level time functions that read the
+// wall clock. time.Since and time.Until call time.Now internally, so
+// they are the same leak through a thinner straw.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetrand(p *Pass) {
+	if !studyPackages[p.Pkg.Path] {
+		return
+	}
+	inspectAll(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // methods (e.g. on a local *rand.Rand) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				p.Reportf(call.Pos(), "time.%s in study package %s: study results must derive from seeds, not the wall clock (report timing from cmd/ instead)",
+					fn.Name(), shortPath(p.Pkg.Path))
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededConstructors[fn.Name()] {
+				p.Reportf(call.Pos(), "global rand.%s in study package %s: draw from a seeded per-unit *rand.Rand (see internal/parallel) so output is identical across reruns and worker counts",
+					fn.Name(), shortPath(p.Pkg.Path))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,45 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcmpCheck guards the score and threshold arithmetic: uniqueness
+// ratios, Jaccard similarities, and FD support values are accumulated
+// floats, so exact ==/!= comparisons flip on rounding differences
+// that are invisible in the printed tables. Sites compare through an
+// epsilon helper (stats.ApproxEq) instead; the rare exact-sentinel
+// comparison carries a //lint:allow(floatcmp) with its justification.
+var floatcmpCheck = &Check{
+	Name: "floatcmp",
+	Doc:  "no ==/!= between float operands; compare scores and thresholds through an epsilon helper (stats.ApproxEq)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	info := p.Pkg.Info
+	inspectAll(p, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		xtv, ytv := info.Types[bin.X], info.Types[bin.Y]
+		if xtv.Value != nil && ytv.Value != nil {
+			return true // constant-folded at compile time
+		}
+		if isFloat(xtv.Type) && isFloat(ytv.Type) {
+			p.Reportf(bin.Pos(), "%s between float operands: exact float comparison is fragile under accumulation-order changes; use an epsilon helper (stats.ApproxEq)", bin.Op)
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

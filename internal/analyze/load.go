@@ -1,0 +1,326 @@
+// Package analyze is the repo's determinism-aware static-analysis
+// framework: a stdlib-only package loader (go/parser + go/types, no
+// external dependencies), a Finding/Check/Pass model, and
+// //lint:allow(<check>) suppression comments. cmd/ogdplint is the
+// driver; the checks encode the invariants the deterministic parallel
+// execution layer and the fault-tolerant fetch pipeline rely on.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked, non-test package of the module
+// under analysis.
+type Package struct {
+	// Path is the import path ("ogdp/internal/join").
+	Path string
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Fset is the loader's shared FileSet; all positions in Files
+	// and Info resolve against it.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name,
+	// with comments attached.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker results for Files.
+	Info *types.Info
+}
+
+// Program is a set of loaded packages sharing one FileSet.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs is sorted by import path.
+	Pkgs []*Package
+}
+
+// Loader parses and type-checks packages. It is stdlib-only: module
+// packages are parsed and checked directly, and every other import
+// (the standard library) is type-checked from source via
+// go/importer's "source" compiler. One Loader caches the stdlib
+// type-checks, so loading several fixtures through the same Loader
+// only pays for each stdlib package once.
+//
+// The loader skips _test.go files: the invariants the checks encode
+// are about study outputs, and test files routinely use wall-clock
+// timeouts and ad-hoc randomness on purpose.
+type Loader struct {
+	fset *token.FileSet
+	std  types.ImporterFrom
+	mod  map[string]*types.Package // checked module packages by import path
+}
+
+// NewLoader returns a Loader with an empty cache. It disables cgo in
+// go/build's default context so the source importer always selects
+// the pure-Go fallback files of packages like net and os/user.
+func NewLoader() *Loader {
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		mod:  map[string]*types.Package{},
+	}
+}
+
+// Load walks the module rooted at root (the directory holding go.mod),
+// parses every non-test package outside testdata/ and hidden
+// directories, and type-checks them in dependency order. The returned
+// Program lists packages sorted by import path.
+func (l *Loader) Load(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	parsed := map[string]*Package{} // by import path
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.parseDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		parsed[path] = pkg
+	}
+
+	order, err := topoOrder(parsed, modPath)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: l.fset}
+	for _, path := range order {
+		pkg := parsed[path]
+		if err := l.check(pkg, modPath); err != nil {
+			return nil, err
+		}
+		l.mod[path] = pkg.Types
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path, without walking a module. It is the fixture
+// entry point: testdata packages get whatever import path the test
+// assigns (a study-package path makes path-scoped checks apply).
+// Imports must resolve from the standard library or from module
+// packages already loaded through this Loader.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.parseDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analyze: no Go files in %s", dir)
+	}
+	if err := l.check(pkg, importPath); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of dir, or returns nil if it
+// has none.
+func (l *Loader) parseDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}, nil
+}
+
+// check type-checks pkg, resolving module-internal imports from the
+// loader's cache and everything else from stdlib source.
+func (l *Loader) check(pkg *Package, modPath string) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: &moduleImporter{l: l, modPrefix: modulePrefix(modPath)}}
+	tpkg, err := conf.Check(pkg.Path, l.fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("analyze: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// modulePrefix returns the prefix that identifies module-internal
+// import paths ("ogdp/").
+func modulePrefix(modPath string) string {
+	return modPath + "/"
+}
+
+// moduleImporter resolves module-internal imports from the loader's
+// cache of already-checked packages and delegates the rest to the
+// stdlib source importer.
+type moduleImporter struct {
+	l         *Loader
+	modPrefix string
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := im.l.mod[path]; ok {
+		return p, nil
+	}
+	if strings.HasPrefix(path, im.modPrefix) {
+		return nil, fmt.Errorf("module package %s not loaded yet (import cycle or load order bug)", path)
+	}
+	return im.l.std.ImportFrom(path, dir, mode)
+}
+
+// packageDirs lists the directories under root that may hold Go
+// packages, skipping hidden directories, testdata, and vendor trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// topoOrder sorts import paths so every module-internal dependency
+// precedes its importers. Ties break alphabetically, keeping load
+// order deterministic.
+func topoOrder(pkgs map[string]*Package, modPath string) ([]string, error) {
+	prefix := modulePrefix(modPath)
+	deps := map[string][]string{}
+	var paths []string
+	for path, pkg := range pkgs {
+		paths = append(paths, path)
+		seen := map[string]bool{}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				target, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if (target == modPath || strings.HasPrefix(target, prefix)) && !seen[target] {
+					seen[target] = true
+					deps[path] = append(deps[path], target)
+				}
+			}
+		}
+		sort.Strings(deps[path])
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analyze: import cycle through %s", path)
+		}
+		state[path] = visiting
+		for _, dep := range deps[path] {
+			if _, ok := pkgs[dep]; !ok {
+				return fmt.Errorf("analyze: %s imports %s, which has no source directory in the module", path, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analyze: no module directive in %s", gomod)
+}

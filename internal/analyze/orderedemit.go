@@ -1,0 +1,108 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// orderedemitCheck catches the nondeterminism class the parallel
+// refactor fixed by hand across the tree: Go randomizes map iteration
+// order per run, so a `for range m` whose body emits into ordered
+// output — appends to a slice, or writes a struct field such as a
+// running "best" — produces a different ordering (or winner on ties)
+// every execution unless the function canonicalizes afterwards. The
+// check requires a sort.* / slices.Sort* call after the loop in the
+// same function; the blessed alternative of sorting the keys first
+// and ranging over the sorted slice never trips it, because that
+// loop does not range over a map.
+var orderedemitCheck = &Check{
+	Name: "orderedemit",
+	Doc:  "a map-range loop that appends to a slice or writes a result field must be followed by a canonical sort.*/slices.Sort* call in the same function",
+	Run:  runOrderedEmit,
+}
+
+func runOrderedEmit(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		bodies := funcBodies(file)
+		var sortCalls []token.Pos
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+				pkg, name := fn.Pkg().Path(), fn.Name()
+				if pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort")) {
+					sortCalls = append(sortCalls, call.Pos())
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !emitsOrderedOutput(info, rs.Body) {
+				return true
+			}
+			enc := enclosingFunc(bodies, rs.Pos())
+			if enc == nil {
+				return true
+			}
+			for _, sp := range sortCalls {
+				if sp > rs.End() && enclosingFunc(bodies, sp) == enc {
+					return true // canonicalized after the loop
+				}
+			}
+			p.Reportf(rs.Pos(), "range over map emits into ordered output with no canonical sort afterwards in this function: map iteration order is randomized per run")
+			return true
+		})
+	}
+}
+
+// emitsOrderedOutput reports whether the loop body produces
+// order-sensitive output: an append call (slice element order follows
+// iteration order) or an assignment through a field selector (last
+// writer wins, so ties depend on iteration order). Writes keyed by
+// the loop variable (m2[k] = v) and commutative accumulation into
+// plain variables are order-independent and ignored.
+func emitsOrderedOutput(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,33 @@
+package analyze
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfCheckRepoClean loads the repo's own source and runs the
+// full suite over it, so a regression against any encoded invariant
+// fails `go test ./...` even when CI isn't in the loop. The tree must
+// stay at zero unsuppressed findings — fix the site or add a
+// justified //lint:allow, exactly as cmd/ogdplint would demand.
+func TestSelfCheckRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := testLoader().Load(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	// A sanity floor: if the walk or the type-checker silently loses
+	// packages, zero findings would be vacuous.
+	if len(prog.Pkgs) < 25 {
+		t.Fatalf("loaded only %d packages from %s; loader lost part of the module", len(prog.Pkgs), root)
+	}
+	for _, f := range Run(prog.Pkgs, Checks()) {
+		t.Errorf("%s", f.RelativeTo(root))
+	}
+}

@@ -1,0 +1,25 @@
+// Package ctxfirst exercises the ctxfirst check: context.Context is
+// always the first parameter, per the ckan client convention.
+package ctxfirst
+
+import "context"
+
+func ok(ctx context.Context, id int) error { return ctx.Err() }
+
+func bad(id int, ctx context.Context) error { return ctx.Err() } // finding
+
+type client struct{}
+
+// ok: the receiver does not count as a parameter.
+func (c *client) fetch(ctx context.Context, q string) error { return ctx.Err() }
+
+func litBad() func(int, context.Context) error {
+	return func(id int, ctx context.Context) error { // finding: literal too
+		return ctx.Err()
+	}
+}
+
+func noCtx(a, b int) int { return a + b } // ok
+
+//lint:allow(ctxfirst) mirrors a third-party callback signature
+func suppressed(id int, ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,35 @@
+// Package detrand exercises the detrand check. The golden test loads
+// it under the study-package import path ogdp/internal/gen, where the
+// reproducibility contract applies.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seeded is the blessed pattern: an explicit per-unit stream.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: seeded constructor
+	return r.Intn(10)                   // ok: method on the local stream
+}
+
+func wallClock() int64 {
+	t := time.Now()    // finding: wall-clock read
+	d := time.Since(t) // finding: time.Now through a thinner straw
+	return d.Nanoseconds()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // finding: global math/rand source
+}
+
+func suppressedLine() time.Time {
+	return time.Now() //lint:allow(detrand) boot stamp, never feeds study results
+}
+
+//lint:allow(detrand) timing-only scaffolding, not study output
+func suppressedFunc() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,41 @@
+// Package floatcmp exercises the floatcmp check: no exact ==/!=
+// between float operands in score and threshold code.
+package floatcmp
+
+import "math"
+
+const eps = 1e-9
+
+type score float64
+
+func exact(a, b float64) bool {
+	return a == b // finding
+}
+
+func exactNeq(a, b float32) bool {
+	return a != b // finding
+}
+
+func namedFloat(a, b score) bool {
+	return a != b // finding: underlying type is float64
+}
+
+func viaEpsilon(a, b float64) bool {
+	return math.Abs(a-b) <= eps // ok: epsilon comparison
+}
+
+func ordered(a, b float64) bool {
+	return a < b // ok: ordering comparisons are allowed
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: not floats
+}
+
+func constFolded() bool {
+	return 1.5 == 3.0/2.0 // ok: folded at compile time
+}
+
+func suppressed(a float64) bool {
+	return a == 0 //lint:allow(floatcmp) exact zero is the documented unset sentinel
+}

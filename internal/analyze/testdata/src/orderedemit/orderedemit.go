@@ -1,0 +1,62 @@
+// Package orderedemit exercises the orderedemit check: map-range
+// loops that emit into ordered output must canonicalize afterwards.
+package orderedemit
+
+import "sort"
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // finding: appended order is the map's random order
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m { // ok: canonical sort follows in this function
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type winner struct {
+	Name  string
+	Score int
+}
+
+func badField(m map[string]int) winner {
+	var w winner
+	for k, v := range m { // finding: ties depend on iteration order
+		if v > w.Score {
+			w.Score = v
+			w.Name = k
+		}
+	}
+	return w
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m { // ok: commutative accumulation into a local
+		n++
+	}
+	return n
+}
+
+func keyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // ok: writes keyed by the loop variable
+		out[k] = v * 2
+	}
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m { //lint:allow(orderedemit) consumed as a set downstream
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package suppress exercises the //lint:allow machinery itself: line
+// scope, function scope, check selectivity, comma lists, and the
+// unknown-name diagnostic. The golden test runs the full suite here.
+package suppress
+
+import "fmt"
+
+// Line-level selectivity: this line carries a floatcmp finding and a
+// wraperr finding; the allow names only floatcmp, so wraperr survives
+// into the golden file.
+func lineSelective(a, b float64, err error) error {
+	return errIf(a == b, fmt.Errorf("equal: %v", err)) //lint:allow(floatcmp) exact compare intended; the missing %w must still be reported
+}
+
+func errIf(ok bool, err error) error {
+	if ok {
+		return err
+	}
+	return nil
+}
+
+// Function-level scope via the doc comment: every floatcmp finding in
+// the body is silenced, but the wraperr finding is a different check
+// and survives.
+//
+//lint:allow(floatcmp) scratch helper, exact comparisons intended throughout
+func funcScoped(a, b float64, err error) error {
+	if a == b {
+		return fmt.Errorf("eq: %v", err) // wraperr still reported
+	}
+	if a != b {
+		return nil
+	}
+	return nil
+}
+
+// Comma lists silence several checks from one comment.
+func commaList(a, b float64, err error) error {
+	return errIf(a != b, fmt.Errorf("ne: %v", err)) //lint:allow(floatcmp, wraperr) both intended here
+}
+
+// A function-level allow does not leak into the next function.
+func afterScoped(a, b float64) bool {
+	return a == b // finding: previous function's allow ended with it
+}
+
+var _ = fmt.Sprint("x") //lint:allow(nosuchcheck) typo'd name is itself reported

@@ -1,0 +1,34 @@
+// Package wraperr exercises the wraperr check: fmt.Errorf must wrap
+// error operands with %w so errors.Is/As keep seeing through.
+package wraperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func flattened(err error) error {
+	return fmt.Errorf("fetch: %v", err) // finding: cause flattened to text
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("fetch: %w", err) // ok
+}
+
+func noErrorOperand(status int) error {
+	return fmt.Errorf("status %d", status) // ok: no error operand
+}
+
+func twoErrorsOneWrap(a, b error) error {
+	return fmt.Errorf("%w after %v", a, b) // finding: second error unwrapped
+}
+
+func percentLiteral(err error) error {
+	return fmt.Errorf("100%% failed: %w", err) // ok: %% is not a verb
+}
+
+func suppressed() error {
+	return fmt.Errorf("log: %v", errBase) //lint:allow(wraperr) display string, never classified
+}

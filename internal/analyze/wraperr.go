@@ -1,0 +1,49 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// wraperrCheck keeps error classification working: the fetch
+// pipeline's transient-vs-permanent split runs on errors.Is, which
+// only sees through chains built with %w. An fmt.Errorf that formats
+// an error operand with %v or %s flattens it to text and silently
+// breaks every errors.Is/errors.As downstream.
+var wraperrCheck = &Check{
+	Name: "wraperr",
+	Doc:  "fmt.Errorf with an error-typed operand must wrap it with %w so errors.Is/As classification keeps working",
+	Run:  runWrapErr,
+}
+
+func runWrapErr(p *Pass) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	info := p.Pkg.Info
+	inspectAll(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isPkgFunc(calleeFunc(info, call), "fmt", "Errorf") || len(call.Args) < 2 {
+			return true
+		}
+		tv, ok := info.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true // dynamic format string; out of scope
+		}
+		format := constant.StringVal(tv.Value)
+		wraps := strings.Count(strings.ReplaceAll(format, "%%", ""), "%w")
+		errOperands := 0
+		for _, arg := range call.Args[1:] {
+			if t := info.TypeOf(arg); t != nil && types.Implements(t, errIface) {
+				errOperands++
+			}
+		}
+		if errOperands > wraps {
+			p.Reportf(call.Pos(), "fmt.Errorf formats an error operand without %%w: the cause is flattened to text and errors.Is/As classification breaks")
+		}
+		return true
+	})
+}

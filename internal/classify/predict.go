@@ -2,6 +2,7 @@ package classify
 
 import (
 	"ogdp/internal/join"
+	"ogdp/internal/stats"
 	"ogdp/internal/table"
 )
 
@@ -22,7 +23,7 @@ type Predictor struct {
 // Predict reports whether the pair is likely a useful join.
 func (p Predictor) Predict(tables []*table.Table, pr join.Pair) bool {
 	maxExp := p.MaxExpansion
-	if maxExp == 0 {
+	if stats.ApproxEq(maxExp, 0) {
 		maxExp = 2
 	}
 	if pr.Expansion > maxExp {

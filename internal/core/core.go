@@ -23,6 +23,7 @@ import (
 	"context"
 	"math/rand"
 	"net/http/httptest"
+	"sort"
 
 	"ogdp/internal/ckan"
 	"ogdp/internal/classify"
@@ -561,6 +562,7 @@ func joinStats(tables []*table.Table, ja *join.Analysis) JoinStats {
 			st.MaxTableDegree = len(n)
 		}
 	}
+	sort.Float64s(tdeg) // canonical order: map iteration emitted these
 	st.MedianTableDegree = stats.Median(tdeg)
 	st.JoinableCols = len(colNbrs)
 	if st.Columns > 0 {
@@ -578,6 +580,7 @@ func joinStats(tables []*table.Table, ja *join.Analysis) JoinStats {
 			st.NonkeyJoinable++
 		}
 	}
+	sort.Float64s(cdeg) // canonical order: map iteration emitted these
 	st.MedianColDegree = stats.Median(cdeg)
 	if st.JoinableCols > 0 {
 		st.KeyJoinablePct = float64(st.KeyJoinable) / float64(st.JoinableCols)

@@ -196,9 +196,19 @@ type partition struct {
 }
 
 func singletonPartition(codes []int32, nRows int) *partition {
-	groups := make(map[int32][]int32, 64)
+	// Group rows in first-seen order rather than by ranging over a
+	// map, so the class list is identical on every run (map iteration
+	// order is randomized and would reorder classes).
+	idx := make(map[int32]int32, 64)
+	var groups [][]int32
 	for r := 0; r < nRows; r++ {
-		groups[codes[r]] = append(groups[codes[r]], int32(r))
+		g, ok := idx[codes[r]]
+		if !ok {
+			g = int32(len(groups))
+			idx[codes[r]] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], int32(r))
 	}
 	p := &partition{}
 	for _, g := range groups {
@@ -223,18 +233,27 @@ func productPartition(a, b *partition, nRows int) *partition {
 			t[r] = int32(i)
 		}
 	}
-	buckets := make(map[int64][]int32)
+	// Bucket in first-seen order (see singletonPartition): the class
+	// list must not inherit map iteration order.
+	idx := make(map[int64]int32, 64)
+	var groups [][]int32
 	for j, cls := range b.classes {
 		for _, r := range cls {
 			if t[r] < 0 {
 				continue // singleton in a: stays singleton in the product
 			}
 			key := int64(t[r])<<32 | int64(j)
-			buckets[key] = append(buckets[key], r)
+			g, ok := idx[key]
+			if !ok {
+				g = int32(len(groups))
+				idx[key] = g
+				groups = append(groups, nil)
+			}
+			groups[g] = append(groups[g], r)
 		}
 	}
 	p := &partition{}
-	for _, g := range buckets {
+	for _, g := range groups {
 		if len(g) >= 2 {
 			p.classes = append(p.classes, g)
 			p.errSum += len(g) - 1

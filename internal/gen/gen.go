@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ogdp/internal/csvio"
+	"ogdp/internal/stats"
 	"ogdp/internal/table"
 )
 
@@ -111,7 +112,7 @@ func (g *generator) pickWeighted(w []float64) int {
 	for _, x := range w {
 		total += x
 	}
-	if total == 0 {
+	if stats.ApproxEq(total, 0) {
 		return 0
 	}
 	r := g.rng.Float64() * total

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"ogdp/internal/parallel"
+	"ogdp/internal/stats"
 	"ogdp/internal/table"
 )
 
@@ -39,7 +40,7 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.MinJaccard == 0 {
+	if stats.ApproxEq(o.MinJaccard, 0) {
 		o.MinJaccard = DefaultMinJaccard
 	}
 	if o.MinUnique == 0 {

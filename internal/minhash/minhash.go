@@ -129,8 +129,11 @@ func (ix *Index) Query(sig Signature, minSim float64) []Candidate {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Estimate != out[j].Estimate {
-			return out[i].Estimate > out[j].Estimate
+		if out[i].Estimate > out[j].Estimate {
+			return true
+		}
+		if out[i].Estimate < out[j].Estimate {
+			return false
 		}
 		return out[i].ID < out[j].ID
 	})

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"ogdp/internal/fd"
+	"ogdp/internal/stats"
 	"ogdp/internal/table"
 )
 
@@ -152,7 +153,7 @@ func (r *Result) UniquenessGain() float64 {
 			continue // repeated column (an FD LHS): excluded by the paper
 		}
 		before := r.Original.Profile(oc).Uniqueness()
-		if before == 0 {
+		if stats.ApproxEq(before, 0) {
 			continue
 		}
 		loc := where[oc]

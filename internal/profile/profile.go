@@ -78,11 +78,13 @@ func Sizes(c *Corpus, compress bool) PortalSizes {
 		}
 	}
 	ps.Datasets = len(perDS)
+	maxPerDS := 0
 	for _, n := range perDS {
-		if n > ps.MaxTablesPerDS {
-			ps.MaxTablesPerDS = n
+		if n > maxPerDS {
+			maxPerDS = n
 		}
 	}
+	ps.MaxTablesPerDS = maxPerDS
 	if ps.Datasets > 0 {
 		ps.AvgTablesPerDS = float64(len(c.Tables)) / float64(ps.Datasets)
 	}
@@ -309,7 +311,7 @@ func Nulls(c *Corpus) NullStats {
 			if r > 0.5 {
 				halfEmpty++
 			}
-			if r == 1 {
+			if stats.ApproxEq(r, 1) {
 				allNull++
 			}
 		}
@@ -352,10 +354,10 @@ func Metadata(c *Corpus, sample int) MetadataStats {
 	if sample > 0 && len(styles) > sample {
 		styles = styles[:sample]
 	}
-	n := float64(len(styles))
-	if n == 0 {
+	if len(styles) == 0 {
 		return ms
 	}
+	n := float64(len(styles))
 	for _, s := range styles {
 		switch s {
 		case 1:
@@ -418,25 +420,26 @@ func Uniqueness(c *Corpus) map[string]UniquenessStats {
 	}
 	out := make(map[string]UniquenessStats, len(classes))
 	for name, s := range classes {
-		us := UniquenessStats{
-			Class:            name,
-			Columns:          len(s.uniques),
-			AvgUnique:        stats.Mean(s.uniques),
-			MedianUnique:     stats.Median(s.uniques),
-			MaxUnique:        s.max,
-			AvgUniqueness:    stats.Mean(s.scores),
-			MedianUniqueness: stats.Median(s.scores),
-		}
 		below := 0
 		for _, sc := range s.scores {
 			if sc < 0.1 {
 				below++
 			}
 		}
+		fracBelow := 0.0
 		if len(s.scores) > 0 {
-			us.FracBelowTenthSco = float64(below) / float64(len(s.scores))
+			fracBelow = float64(below) / float64(len(s.scores))
 		}
-		out[name] = us
+		out[name] = UniquenessStats{
+			Class:             name,
+			Columns:           len(s.uniques),
+			AvgUnique:         stats.Mean(s.uniques),
+			MedianUnique:      stats.Median(s.uniques),
+			MaxUnique:         s.max,
+			AvgUniqueness:     stats.Mean(s.scores),
+			MedianUniqueness:  stats.Median(s.scores),
+			FracBelowTenthSco: fracBelow,
+		}
 	}
 	return out
 }

@@ -103,8 +103,11 @@ func RankJoins(tables []*table.Table, pairs []join.Pair, w JoinWeights) []Scored
 		out[i] = ScoredJoin{Pair: p, Score: ScoreJoin(tables, p, w)}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		if out[i].Score > out[j].Score {
+			return true
+		}
+		if out[i].Score < out[j].Score {
+			return false
 		}
 		return out[i].Pair.Jaccard > out[j].Pair.Jaccard
 	})
@@ -175,8 +178,11 @@ func RankUnionCandidates(a *union.Analysis, target int, w UnionWeights) []Scored
 		out = append(out, ScoredUnion{Table: ci, Score: s})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		if out[i].Score > out[j].Score {
+			return true
+		}
+		if out[i].Score < out[j].Score {
+			return false
 		}
 		return out[i].Table < out[j].Table
 	})

@@ -63,7 +63,10 @@ func New(tables []*table.Table, minUnique int) *Engine {
 			id := int32(len(e.columns))
 			e.columns = append(e.columns, ColumnRef{Table: ti, Column: ci})
 			e.distinct = append(e.distinct, p.Distinct)
-			for h := range p.Counts {
+			// Each distinct hash is visited exactly once per column, so
+			// every posting list still fills in ascending column-id order
+			// regardless of map iteration order.
+			for h := range p.Counts { //lint:allow(orderedemit) order set by outer column loop, not this map range
 				e.postings[h] = append(e.postings[h], id)
 			}
 		}
@@ -109,8 +112,11 @@ func (e *Engine) TopKJoinable(query *table.Table, col, k, excludeTable int) []Re
 		if out[i].Overlap != out[j].Overlap {
 			return out[i].Overlap > out[j].Overlap
 		}
-		if out[i].Jaccard != out[j].Jaccard {
-			return out[i].Jaccard > out[j].Jaccard
+		if out[i].Jaccard > out[j].Jaccard {
+			return true
+		}
+		if out[i].Jaccard < out[j].Jaccard {
+			return false
 		}
 		if out[i].Ref.Table != out[j].Ref.Table {
 			return out[i].Ref.Table < out[j].Ref.Table
@@ -140,8 +146,11 @@ func (e *Engine) JoinableFor(query *table.Table, col int, minJaccard float64, ex
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Jaccard != out[j].Jaccard {
-			return out[i].Jaccard > out[j].Jaccard
+		if out[i].Jaccard > out[j].Jaccard {
+			return true
+		}
+		if out[i].Jaccard < out[j].Jaccard {
+			return false
 		}
 		if out[i].Ref.Table != out[j].Ref.Table {
 			return out[i].Ref.Table < out[j].Ref.Table

@@ -9,6 +9,21 @@ import (
 	"sort"
 )
 
+// ApproxEq reports whether two floats are equal within a small
+// absolute or relative tolerance (1e-9). It is the epsilon helper the
+// floatcmp analyzer points score/threshold code at: the study's
+// uniqueness ratios and Jaccard similarities are accumulated floats,
+// so exact ==/!= would flip on rounding noise that never shows up in
+// the printed tables.
+func ApproxEq(a, b float64) bool {
+	if a == b { //lint:allow(floatcmp) fast path; also makes equal infinities compare equal
+		return true
+	}
+	const tol = 1e-9
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
 // Summary holds the basic descriptive statistics of a sample.
 type Summary struct {
 	N      int
@@ -148,7 +163,7 @@ func CDF(xs []float64) []CDFPoint {
 	n := float64(len(sorted))
 	for i := 0; i < len(sorted); i++ {
 		// Emit at the last occurrence of each distinct value.
-		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] { //lint:allow(floatcmp) exact on purpose: deduplicating identical sorted sample values
 			continue
 		}
 		out = append(out, CDFPoint{Value: sorted[i], Frac: float64(i+1) / n})
@@ -206,7 +221,7 @@ func Histogram(xs []float64, bounds []float64) []Bucket {
 	for _, x := range xs {
 		i := sort.SearchFloat64s(bounds, x)
 		// SearchFloat64s returns the insertion point; adjust to bucket index.
-		if i < len(bounds) && bounds[i] == x {
+		if i < len(bounds) && bounds[i] == x { //lint:allow(floatcmp) exact on purpose: SearchFloat64s found x at this bound
 			// x equals a bound: belongs to the bucket starting at that bound.
 		} else {
 			i--
@@ -287,7 +302,7 @@ func FormatCount(n float64) string {
 	case abs >= 1e3:
 		return trimZero(fmt.Sprintf("%.1fK", n/1e3))
 	default:
-		if n == math.Trunc(n) {
+		if n == math.Trunc(n) { //lint:allow(floatcmp) exact on purpose: integer-valued counts render without decimals
 			return fmt.Sprintf("%.0f", n)
 		}
 		return fmt.Sprintf("%.2f", n)

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"ogdp/internal/stats"
 	"ogdp/internal/table"
 )
 
@@ -19,10 +20,10 @@ type FuzzyOptions struct {
 }
 
 func (o FuzzyOptions) withDefaults() FuzzyOptions {
-	if o.MinColumnScore == 0 {
+	if stats.ApproxEq(o.MinColumnScore, 0) {
 		o.MinColumnScore = 0.55
 	}
-	if o.MinMatchedFrac == 0 {
+	if stats.ApproxEq(o.MinMatchedFrac, 0) {
 		o.MinMatchedFrac = 0.8
 	}
 	return o
@@ -120,8 +121,11 @@ func matchSchemas(a, b *table.Table, opts FuzzyOptions) (FuzzyPair, bool) {
 		}
 	}
 	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].score != cells[j].score {
-			return cells[i].score > cells[j].score
+		if cells[i].score > cells[j].score {
+			return true
+		}
+		if cells[i].score < cells[j].score {
+			return false
 		}
 		if cells[i].c1 != cells[j].c1 {
 			return cells[i].c1 < cells[j].c1
