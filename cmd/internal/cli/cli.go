@@ -2,29 +2,40 @@
 // tools. It lives under cmd/ on purpose: the tools report
 // operator-facing wall-clock timing, which the detrand analyzer bans
 // from the study packages, so the clock reads are concentrated here
-// instead of being re-typed in every main.
+// instead of being re-typed in every main. Rendering and measurement
+// delegate to internal/obs, which never reads the clock itself — the
+// time.Now injection happens here.
 package cli
 
 import (
 	"fmt"
 	"io"
 	"time"
+
+	"ogdp/internal/obs"
 )
 
 // Stopwatch measures a command's elapsed wall time.
 type Stopwatch struct {
-	start time.Time
+	sw obs.Stopwatch
 }
 
 // Start begins timing a command run.
 func Start() Stopwatch {
-	return Stopwatch{start: time.Now()}
+	return Stopwatch{sw: obs.NewStopwatch(time.Now)}
 }
 
 // Elapsed returns the time since Start, rounded to the millisecond —
 // the resolution every tool prints.
 func (s Stopwatch) Elapsed() time.Duration {
-	return time.Since(s.start).Round(time.Millisecond)
+	return s.sw.Elapsed()
+}
+
+// String renders the elapsed time in obs.FormatDuration's fixed
+// "1.234s" spelling, so timing lines never change unit or precision
+// with magnitude the way time.Duration's String does.
+func (s Stopwatch) String() string {
+	return s.sw.String()
 }
 
 // PrintCompleted writes the standard trailing timing line
@@ -32,5 +43,5 @@ func (s Stopwatch) Elapsed() time.Duration {
 // strip this line before diffing runs, so keeping the one spelling
 // here is what keeps those recipes honest.
 func (s Stopwatch) PrintCompleted(w io.Writer) {
-	fmt.Fprintf(w, "\ncompleted in %v\n", s.Elapsed())
+	fmt.Fprintf(w, "\ncompleted in %s\n", s)
 }

@@ -1,0 +1,127 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"ogdp/internal/obs"
+	"ogdp/internal/parallel"
+)
+
+// Obs bundles the observability flags the ogdp tools share:
+//
+//	-metrics        print the stage tree and metrics snapshot after the run
+//	-metrics-json   write the snapshot as JSON to a file ("-" = stdout)
+//	-trace          arm wall-clock spans and pool telemetry (diagnostic)
+//	-debug-addr     serve /metrics + /debug/pprof while running (opt-in
+//	                via EnableDebugServer)
+//
+// Everything recorded without -trace is deterministic: the registry
+// and trace carry no clock, so -metrics output is byte-identical for
+// every -workers value. -trace injects time.Now into the root span
+// and installs pool telemetry; its output varies run to run and is
+// for diagnosis, not diffing.
+type Obs struct {
+	metrics     bool
+	metricsJSON string
+	trace       bool
+	debugAddr   string
+
+	reg  *obs.Registry
+	root *obs.Span
+}
+
+// StandardObs registers -metrics, -metrics-json, and -trace on the
+// default flag set. Call before flag.Parse, then Start after it.
+func StandardObs() *Obs {
+	o := &Obs{}
+	flag.BoolVar(&o.metrics, "metrics", false,
+		"print the stage tree and metrics snapshot after the run (deterministic across -workers)")
+	flag.StringVar(&o.metricsJSON, "metrics-json", "",
+		`write the metrics snapshot as JSON to this file ("-" = stdout)`)
+	flag.BoolVar(&o.trace, "trace", false,
+		"record wall-clock spans and worker-pool telemetry (diagnostic; varies run to run)")
+	return o
+}
+
+// EnableDebugServer additionally registers -debug-addr, for the
+// long-running tools where live /metrics and pprof profiles are worth
+// having. Call before flag.Parse.
+func (o *Obs) EnableDebugServer() *Obs {
+	flag.StringVar(&o.debugAddr, "debug-addr", "",
+		"serve /metrics (Prometheus) and /debug/pprof on this address while running, e.g. 127.0.0.1:6060")
+	return o
+}
+
+// Start initializes the registry and root span according to the
+// parsed flags and, when -debug-addr was given, starts the debug
+// server. Call once, after flag.Parse.
+func (o *Obs) Start(root string) {
+	o.reg = obs.NewRegistry()
+	if o.trace {
+		o.root = obs.NewTimedTrace(root, time.Now)
+		parallel.SetObserver(obs.NewPoolStats(o.reg))
+	} else {
+		o.root = obs.NewTrace(root)
+	}
+	if o.debugAddr != "" {
+		ln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		go http.Serve(ln, obs.NewDebugHandler(o.reg))
+		fmt.Fprintf(os.Stderr, "debug server at http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+	}
+}
+
+// Registry returns the run's metrics registry (non-nil after Start).
+func (o *Obs) Registry() *obs.Registry { return o.reg }
+
+// Trace returns the run's root span (non-nil after Start).
+func (o *Obs) Trace() *obs.Span { return o.root }
+
+// Clock returns time.Now when -trace armed wall-clock measurement,
+// nil otherwise — the injection point for packages that must not read
+// the clock themselves.
+func (o *Obs) Clock() func() time.Time {
+	if o.trace {
+		return time.Now
+	}
+	return nil
+}
+
+// Finish ends the root span and emits whatever the flags asked for:
+// the stage tree plus text snapshot on w under -metrics, and the JSON
+// snapshot to -metrics-json's destination. Call once, after the run.
+func (o *Obs) Finish(w io.Writer) {
+	if o.reg == nil {
+		return // Start was never called: no flags armed
+	}
+	o.root.End()
+	if o.metrics {
+		fmt.Fprintln(w)
+		o.root.WriteTree(w)
+		fmt.Fprintln(w)
+		o.reg.Snapshot().WriteText(w)
+	}
+	if o.metricsJSON != "" {
+		out := w
+		if o.metricsJSON != "-" {
+			f, err := os.Create(o.metricsJSON)
+			if err != nil {
+				log.Fatalf("metrics-json: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := o.reg.Snapshot().WriteJSON(out); err != nil {
+			log.Fatalf("metrics-json: %v", err)
+		}
+	}
+}

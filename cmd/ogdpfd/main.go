@@ -25,16 +25,24 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "corpus scale")
 	seed := flag.Int64("seed", 1, "generation seed")
 	maxTables := flag.Int("max-tables", 0, "cap the FD-analysis subset (0 = all eligible tables)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
+	ob := cli.StandardObs().EnableDebugServer()
 	flag.Parse()
+	ob.Start("ogdpfd")
 
 	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
 		Scale:       *scale,
 		Seed:        *seed,
 		MaxFDTables: *maxTables,
+		Workers:     *workers,
+		Metrics:     ob.Registry(),
+		Trace:       ob.Trace(),
+		Clock:       ob.Clock(),
 	})
 	report.Figure6(os.Stdout, res)
 	report.Table5(os.Stdout, res)
 	report.Figure7(os.Stdout, res)
 	sw.PrintCompleted(os.Stdout)
+	ob.Finish(os.Stdout)
 }

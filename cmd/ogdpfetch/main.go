@@ -23,6 +23,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 
 	"ogdp/cmd/internal/cli"
 	"ogdp/internal/ckan"
@@ -43,7 +44,9 @@ func main() {
 	failRate := flag.Float64("failrate", 0, "inject transient 500s on every endpoint at this rate")
 	truncRate := flag.Float64("truncrate", 0, "inject truncated download bodies at this rate")
 	latency := flag.Duration("latency", 0, "inject this much latency per response")
+	ob := cli.StandardObs().EnableDebugServer()
 	flag.Parse()
+	ob.Start("ogdpfetch")
 
 	prof, ok := gen.ProfileByName(*portal)
 	if !ok {
@@ -80,6 +83,10 @@ func main() {
 	client.Workers = *workers
 	client.Timeout = *timeout
 	client.Seed = *seed
+	client.Metrics = ob.Registry()
+	client.MetricLabels = []string{"portal", prof.Name}
+	client.Trace = ob.Trace()
+	client.Now = ob.Clock()
 	if *retries <= 0 {
 		client.Retries = -1
 	} else {
@@ -110,7 +117,8 @@ func main() {
 		rows += ft.Table.NumRows()
 		cols += ft.Table.NumCols()
 	}
-	fmt.Printf("parsed: %d tables, %d columns, %d rows in %v\n", len(tables), cols, rows, sw.Elapsed())
+	fmt.Printf("parsed: %d tables, %d columns, %d rows in %s\n", len(tables), cols, rows, sw)
+	ob.Finish(os.Stdout)
 
 	if *serve != "" {
 		fmt.Printf("serving until interrupted: try %s/api/3/action/package_list\n", base)

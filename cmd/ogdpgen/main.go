@@ -38,7 +38,9 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "corpus scale (1.0 = full calibrated size)")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "output directory (required)")
+	ob := cli.StandardObs()
 	flag.Parse()
+	ob.Start("ogdpgen")
 
 	if *out == "" {
 		log.Fatal("-out directory is required")
@@ -96,7 +98,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ob.Trace().AddTasks(len(corpus.Metas))
+	ob.Trace().AddItems(len(corpus.Datasets))
+	ob.Trace().AddBytes(totalBytes)
 	fmt.Printf("wrote %d datasets, %d tables (%.1f MiB) to %s\n",
 		len(corpus.Datasets), len(corpus.Metas), float64(totalBytes)/(1<<20), *out)
 	sw.PrintCompleted(os.Stdout)
+	ob.Finish(os.Stdout)
 }

@@ -37,28 +37,45 @@ func main() {
 	dir := flag.String("dir", "", "directory of CSV files (required)")
 	maxFD := flag.Int("max-fd-tables", 200, "cap on tables entering the FD analysis")
 	topJoins := flag.Int("top-joins", 5, "ranked join suggestions to print")
+	ob := cli.StandardObs()
 	flag.Parse()
+	ob.Start("ogdpinspect")
 	if *dir == "" {
 		log.Fatal("-dir is required")
 	}
 
 	sw := cli.Start()
+	loadSpan := ob.Trace().Child("load")
 	c, err := diskcorpus.Load(*dir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	tables := c.Tables
+	loadSpan.AddTasks(len(tables) + c.Skipped)
+	loadSpan.AddItems(len(tables))
+	loadSpan.End()
 	if len(tables) == 0 {
 		log.Fatalf("no readable CSV tables in %s", *dir)
 	}
 
 	fmt.Printf("readable tables: %d (skipped %d files, %d too wide)\n\n",
 		len(tables), c.Skipped, c.SkippedWide)
-	printProfile(tables)
-	printKeysAndFDs(tables, *maxFD)
-	printJoins(tables, *topJoins)
-	printUnions(tables)
+	for _, phase := range []struct {
+		name string
+		run  func()
+	}{
+		{"profile", func() { printProfile(tables) }},
+		{"keys+fd", func() { printKeysAndFDs(tables, *maxFD) }},
+		{"join", func() { printJoins(tables, *topJoins) }},
+		{"union", func() { printUnions(tables) }},
+	} {
+		span := ob.Trace().Child(phase.name)
+		span.AddTasks(len(tables))
+		phase.run()
+		span.End()
+	}
 	sw.PrintCompleted(os.Stdout)
+	ob.Finish(os.Stdout)
 }
 
 func printProfile(tables []*table.Table) {

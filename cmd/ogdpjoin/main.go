@@ -28,7 +28,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	perCell := flag.Int("per-cell", 17, "labeling sample quota per size×key cell")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
+	ob := cli.StandardObs().EnableDebugServer()
 	flag.Parse()
+	ob.Start("ogdpjoin")
 
 	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
@@ -37,6 +39,9 @@ func main() {
 		MaxFDTables:   1, // FD analysis handled by ogdpfd
 		SamplePerCell: *perCell,
 		Workers:       *workers,
+		Metrics:       ob.Registry(),
+		Trace:         ob.Trace(),
+		Clock:         ob.Clock(),
 	})
 	report.Table6(os.Stdout, res)
 	report.Figure8(os.Stdout, res)
@@ -46,4 +51,5 @@ func main() {
 	report.Table10(os.Stdout, res)
 	report.PredictorReport(os.Stdout, res)
 	sw.PrintCompleted(os.Stdout)
+	ob.Finish(os.Stdout)
 }

@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"ogdp/cmd/internal/cli"
 	"ogdp/internal/analyze"
 )
 
@@ -33,7 +34,9 @@ func main() {
 	log.SetPrefix("ogdplint: ")
 
 	list := flag.Bool("list", false, "list registered checks and exit")
+	ob := cli.StandardObs()
 	flag.Parse()
+	ob.Start("ogdplint")
 
 	if *list {
 		for _, c := range analyze.Checks() {
@@ -55,12 +58,21 @@ func main() {
 		log.Fatal(err)
 	}
 
+	loadSpan := ob.Trace().Child("load")
 	prog, err := analyze.NewLoader().Load(root)
 	if err != nil {
 		log.Fatal(err)
 	}
+	loadSpan.AddItems(len(prog.Pkgs))
+	loadSpan.End()
 
+	checkSpan := ob.Trace().Child("checks")
+	checkSpan.AddTasks(len(prog.Pkgs) * len(analyze.Checks()))
 	findings := analyze.Run(prog.Pkgs, analyze.Checks())
+	checkSpan.AddItems(len(findings))
+	checkSpan.End()
+	ob.Registry().Counter("ogdplint_packages_total", "Packages loaded and checked.").Add(int64(len(prog.Pkgs)))
+	ob.Registry().Counter("ogdplint_findings_total", "Findings surviving suppression.").Add(int64(len(findings)))
 	printed := 0
 	for _, f := range findings {
 		if !underAny(f.Pos.Filename, prefixes) {
@@ -69,6 +81,7 @@ func main() {
 		fmt.Println(f.RelativeTo(cwd))
 		printed++
 	}
+	ob.Finish(os.Stdout)
 	if printed > 0 {
 		log.Fatalf("%d finding(s)", printed)
 	}

@@ -26,7 +26,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	compress := flag.Bool("compress", true, "measure gzip-compressed sizes")
 	funnel := flag.Bool("funnel", true, "measure the download funnel over HTTP")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
+	ob := cli.StandardObs()
 	flag.Parse()
+	ob.Start("ogdpprofile")
 
 	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
@@ -35,6 +38,10 @@ func main() {
 		Compress:    *compress,
 		FetchFunnel: *funnel,
 		MaxFDTables: 1, // skip the expensive FD analysis; see ogdpfd
+		Workers:     *workers,
+		Metrics:     ob.Registry(),
+		Trace:       ob.Trace(),
+		Clock:       ob.Clock(),
 	})
 	report.Table1(os.Stdout, res)
 	report.Figure1(os.Stdout, res)
@@ -46,4 +53,5 @@ func main() {
 	report.Figure5(os.Stdout, res)
 	report.Table4(os.Stdout, res)
 	sw.PrintCompleted(os.Stdout)
+	ob.Finish(os.Stdout)
 }

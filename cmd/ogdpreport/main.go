@@ -28,7 +28,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	fast := flag.Bool("fast", false, "skip the HTTP funnel and cap FD analysis")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
+	ob := cli.StandardObs()
 	flag.Parse()
+	ob.Start("ogdpreport")
 
 	opts := core.Options{
 		Scale:       *scale,
@@ -38,6 +40,9 @@ func main() {
 		Sensitivity: true,
 		Extensions:  true,
 		Workers:     *workers,
+		Metrics:     ob.Registry(),
+		Trace:       ob.Trace(),
+		Clock:       ob.Clock(),
 	}
 	if *fast {
 		opts.FetchFunnel = false
@@ -50,6 +55,7 @@ func main() {
 	res := core.Run(gen.Profiles(), opts)
 	report.All(os.Stdout, res)
 	report.Summary(os.Stdout, res)
-	fmt.Printf("\nfull study completed in %v (scale %.2f, seed %d)\n",
-		sw.Elapsed(), *scale, *seed)
+	fmt.Printf("\nfull study completed in %s (scale %.2f, seed %d)\n",
+		sw, *scale, *seed)
+	ob.Finish(os.Stdout)
 }

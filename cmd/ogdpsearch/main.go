@@ -34,16 +34,21 @@ func main() {
 	query := flag.String("query", "", "query table file name within -dir (required)")
 	col := flag.String("col", "", "query column name (default: first join-eligible column)")
 	k := flag.Int("k", 5, "top-k results")
+	ob := cli.StandardObs()
 	flag.Parse()
+	ob.Start("ogdpsearch")
 	if *dir == "" || *query == "" {
 		log.Fatal("-dir and -query are required")
 	}
 
 	sw := cli.Start()
+	loadSpan := ob.Trace().Child("load")
 	c, err := diskcorpus.Load(*dir)
 	if err != nil {
 		log.Fatal(err)
 	}
+	loadSpan.AddItems(len(c.Tables))
+	loadSpan.End()
 	tables := c.Tables
 	queryIdx := c.ByName(*query)
 	if queryIdx < 0 {
@@ -57,6 +62,7 @@ func main() {
 	}
 	fmt.Printf("query: %s.%s (%d distinct values)\n\n", q.Name, q.Cols[ci], q.Profile(ci).Distinct)
 
+	joinSpan := ob.Trace().Child("join-search")
 	eng := search.New(tables, search.MinUniqueDefault)
 	fmt.Printf("top-%d joinable columns by exact overlap (JOSIE semantics):\n", *k)
 	for _, r := range eng.TopKJoinable(q, ci, *k, queryIdx) {
@@ -65,6 +71,9 @@ func main() {
 			r.Overlap, r.Jaccard, r.Containment, c.Name, c.Cols[r.Ref.Column])
 	}
 
+	joinSpan.End()
+
+	lshSpan := ob.Trace().Child("lsh")
 	fmt.Printf("\nLSH (MinHash 128, 16×8 bands) candidates at est. J >= 0.8:\n")
 	ix := minhash.NewIndex(16, 8)
 	var refs []search.ColumnRef
@@ -90,7 +99,10 @@ func main() {
 		c := tables[ref.Table]
 		fmt.Printf("  est=%.3f  %s.%s\n", cand.Estimate, c.Name, c.Cols[ref.Column])
 	}
+	lshSpan.AddTasks(len(refs))
+	lshSpan.End()
 
+	unionSpan := ob.Trace().Child("union")
 	fmt.Println("\nunionable tables (exact schema identity), ranked by relatedness:")
 	ua := union.Find(tables)
 	ranked := rank.RankUnionCandidates(ua, queryIdx, rank.UnionWeights{})
@@ -103,7 +115,9 @@ func main() {
 		}
 		fmt.Printf("  score=%.2f  %s\n", r.Score, tables[r.Table].Name)
 	}
+	unionSpan.End()
 	sw.PrintCompleted(os.Stdout)
+	ob.Finish(os.Stdout)
 }
 
 func pickColumn(t *table.Table, name string) int {

@@ -24,7 +24,10 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "corpus scale")
 	seed := flag.Int64("seed", 1, "generation seed")
 	samples := flag.Int("samples", 25, "union pairs labeled per portal")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
+	ob := cli.StandardObs()
 	flag.Parse()
+	ob.Start("ogdpunion")
 
 	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
@@ -32,8 +35,13 @@ func main() {
 		Seed:         *seed,
 		MaxFDTables:  1,
 		UnionSamples: *samples,
+		Workers:      *workers,
+		Metrics:      ob.Registry(),
+		Trace:        ob.Trace(),
+		Clock:        ob.Clock(),
 	})
 	report.Table11(os.Stdout, res)
 	report.UnionLabels(os.Stdout, res)
 	sw.PrintCompleted(os.Stdout)
+	ob.Finish(os.Stdout)
 }

@@ -2,6 +2,7 @@ package ogdp_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"strings"
 
 	"ogdp"
@@ -85,6 +86,44 @@ func ExampleFindUnionable() {
 	fmt.Println(len(a.Groups), a.UnionableTables())
 	// Output:
 	// 1 3
+}
+
+// ExampleFaults crawls a deliberately flaky portal: 30% of metadata
+// and download requests answer 500, the client retries them with
+// deterministic seeded backoff, and a metrics registry records the
+// funnel. Every printed value is identical for any Workers setting.
+func ExampleFaults() {
+	prof, _ := ogdp.Portal("SG")
+	corpus := ogdp.GenerateCorpus(prof, 0.05, 1)
+	server := ogdp.NewCKANServer(ogdp.BuildCKANPortal(corpus, 1))
+	server.InjectFaults(ogdp.Faults{
+		Seed:        1,
+		PackageShow: ogdp.FaultSpec{Rate500: 0.3},
+		Download:    ogdp.FaultSpec{Rate500: 0.3},
+	})
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	client := ogdp.NewFetchClient(ts.URL)
+	client.Workers = 4
+	client.Seed = 1
+	client.Backoff = -1 // retry immediately: no reason to sleep here
+	reg := ogdp.NewMetricsRegistry()
+	client.Metrics = reg
+
+	tables, stats, err := client.FetchAll()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("readable tables:", len(tables))
+	fmt.Println("retries:", stats.Retries, "transient failures:", stats.TransientFailures)
+	snap := reg.Snapshot()
+	downloads, _ := snap.Value("ogdp_fetch_requests_total", "stage", "download")
+	fmt.Println("download request attempts:", downloads)
+	// Output:
+	// readable tables: 10
+	// retries: 7 transient failures: 7
+	// download request attempts: 15
 }
 
 // ExampleExtractDictionary parses an unstructured metadata document.

@@ -42,6 +42,9 @@ var studyPackages = map[string]bool{
 	"ogdp/internal/stats":    true,
 	"ogdp/internal/classify": true,
 	"ogdp/internal/minhash":  true,
+	// obs records into the deterministic snapshot; all wall time it
+	// handles must flow in through injected clocks, never time.Now.
+	"ogdp/internal/obs": true,
 }
 
 // calleeFunc resolves a call expression to the package-level function

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ogdp/internal/csvio"
+	"ogdp/internal/obs"
 	"ogdp/internal/parallel"
 	"ogdp/internal/sniff"
 	"ogdp/internal/table"
@@ -76,6 +77,26 @@ type Client struct {
 	// Seed salts the retry jitter so backoff schedules are
 	// reproducible run to run.
 	Seed int64
+
+	// Metrics, when non-nil, receives the fetch pipeline's counters
+	// and histograms (requests, retries, fault classifications,
+	// backoff delays, body sizes, funnel stages). Everything recorded
+	// through it is deterministic for a fixed portal, seed, and fault
+	// schedule — durations enter only via Now.
+	Metrics *obs.Registry
+	// MetricLabels are extra name, value pairs stamped on every
+	// series this client records (the study pipeline passes
+	// "portal", name so per-portal crawls stay distinguishable).
+	MetricLabels []string
+	// Trace, when non-nil, gains one child span per pipeline stage
+	// (package_list, package_show, download) carrying task, item, and
+	// byte counts.
+	Trace *obs.Span
+	// Now, when non-nil, measures per-request wall time into the
+	// ogdp_fetch_request_seconds histogram. Leave nil (the default)
+	// to keep the metrics snapshot free of wall-clock values; the
+	// CLIs inject time.Now only under -trace.
+	Now func() time.Time
 }
 
 // NewClient creates a fetch client for the portal at baseURL.
@@ -169,16 +190,23 @@ func (c *Client) FetchAll() ([]*FetchedTable, FunnelStats, error) {
 // cancellation.
 func (c *Client) FetchAllContext(ctx context.Context) ([]*FetchedTable, FunnelStats, error) {
 	var stats FunnelStats
+	spanList := c.Trace.Child(StagePackageList)
 	ids, lt, err := c.packageList(ctx)
+	spanList.AddTasks(1)
+	spanList.AddItems(len(ids))
+	spanList.End()
 	stats.add(lt)
 	if err != nil {
 		stats.PermanentFailures++
 		stats.Failures = append(stats.Failures, FetchFailure{
 			Stage: StagePackageList, Attempts: lt.attempts, Err: err.Error(),
 		})
+		c.recordFunnel(stats)
 		return nil, stats, err
 	}
 	stats.Datasets = len(ids)
+	spanShow := c.Trace.Child(StagePackageShow)
+	spanShow.AddTasks(len(ids))
 
 	// Stage 1: dataset metadata, fanned out index-addressed over the
 	// pool.
@@ -226,6 +254,10 @@ func (c *Client) FetchAllContext(ctx context.Context) ([]*FetchedTable, FunnelSt
 		}
 	}
 	stats.Tables = len(work)
+	spanShow.AddItems(len(work))
+	spanShow.End()
+	spanDownload := c.Trace.Child(StageDownload)
+	spanDownload.AddTasks(len(work))
 
 	// Stage 2: downloads and parsing over the same pool.
 	type fetchResult struct {
@@ -273,9 +305,38 @@ func (c *Client) FetchAllContext(ctx context.Context) ([]*FetchedTable, FunnelSt
 		r.ft.DatasetTitle = w.pkg.Title
 		r.ft.Published = w.published
 		r.ft.Table.DatasetID = w.pkg.ID
+		spanDownload.AddBytes(r.ft.RawSize)
 		out = append(out, r.ft)
 	}
+	spanDownload.AddItems(len(out))
+	spanDownload.End()
+	c.recordFunnel(stats)
 	return out, stats, nil
+}
+
+// recordFunnel publishes the crawl's funnel and fault totals as
+// counters. Everything here derives from FunnelStats, which is already
+// deterministic for every worker count.
+func (c *Client) recordFunnel(stats FunnelStats) {
+	r := c.Metrics
+	if r == nil {
+		return
+	}
+	ls := c.MetricLabels
+	add := func(name, help string, n int) {
+		r.Counter(name, help, ls...).Add(int64(n))
+	}
+	add("ogdp_fetch_datasets_total", "Datasets advertised by package_list.", stats.Datasets)
+	add("ogdp_fetch_csv_resources_total", "Resources advertised as CSV (the paper's Tables column).", stats.Tables)
+	add("ogdp_fetch_downloadable_total", "CSV resources that answered HTTP 200.", stats.Downloadable)
+	add("ogdp_fetch_readable_total", "Resources sniffed as tabular and parsed.", stats.Readable)
+	add("ogdp_fetch_too_wide_total", "Resources rejected by the wide-table cutoff.", stats.TooWide)
+	add("ogdp_fetch_unparsed_dates_total", "Datasets whose metadata_created matched no accepted layout.", stats.UnparsedDates)
+	for _, f := range stats.Failures {
+		r.Counter("ogdp_fetch_permanent_failures_total",
+			"Requests that permanently failed and were skipped, by stage.",
+			c.stageLabels(f.Stage)...).Inc()
+	}
 }
 
 // createdLayouts are the metadata_created shapes real portals emit:
@@ -323,7 +384,7 @@ func (c *Client) process(resID, name string, body []byte) (*FetchedTable, bool) 
 }
 
 func (c *Client) packageList(ctx context.Context) ([]string, tally, error) {
-	body, status, t, err := c.getWithRetry(ctx, "package_list", c.BaseURL+"/api/3/action/package_list")
+	body, status, t, err := c.getWithRetry(ctx, StagePackageList, "package_list", c.BaseURL+"/api/3/action/package_list")
 	if err != nil {
 		return nil, t, fmt.Errorf("ckan: package_list: %w", err)
 	}
@@ -345,7 +406,7 @@ func (c *Client) packageList(ctx context.Context) ([]string, tally, error) {
 
 func (c *Client) packageShow(ctx context.Context, id string) (*packageJSON, tally, error) {
 	u := c.BaseURL + "/api/3/action/package_show?id=" + url.QueryEscape(id)
-	body, status, t, err := c.getWithRetry(ctx, "package_show:"+id, u)
+	body, status, t, err := c.getWithRetry(ctx, StagePackageShow, "package_show:"+id, u)
 	if err != nil {
 		return nil, t, fmt.Errorf("ckan: package_show(%s): %w", id, err)
 	}
@@ -373,7 +434,7 @@ func (c *Client) download(ctx context.Context, resID, resourceURL string) ([]byt
 	if len(u) > 0 && u[0] == '/' {
 		u = c.BaseURL + u
 	}
-	body, status, t, err := c.getWithRetry(ctx, "download:"+resID, u)
+	body, status, t, err := c.getWithRetry(ctx, StageDownload, "download:"+resID, u)
 	if err != nil {
 		return nil, t, err
 	}
@@ -383,30 +444,101 @@ func (c *Client) download(ctx context.Context, resID, resourceURL string) ([]byt
 	return body, t, nil
 }
 
+// stageMetrics bundles the per-stage series of the retry loop. All
+// handles are nil (and so no-ops) when the client carries no registry.
+type stageMetrics struct {
+	requests   *obs.Counter
+	retries    *obs.Counter
+	bytes      *obs.Counter
+	bodyBytes  *obs.Histogram
+	backoff    *obs.Histogram
+	reqSeconds *obs.Histogram // only under an injected clock
+	failures   func(kind string) *obs.Counter
+}
+
+// stageLabels returns the client's MetricLabels plus the stage label
+// and any extra pairs — the label set shared by per-stage series.
+func (c *Client) stageLabels(stage string, extra ...string) []string {
+	kv := make([]string, 0, len(c.MetricLabels)+2+len(extra))
+	kv = append(kv, c.MetricLabels...)
+	kv = append(kv, "stage", stage)
+	return append(kv, extra...)
+}
+
+func (c *Client) stageMetrics(stage string) stageMetrics {
+	r := c.Metrics
+	ls := c.stageLabels(stage)
+	sm := stageMetrics{
+		requests: r.Counter("ogdp_fetch_requests_total",
+			"HTTP request attempts issued by the fetch pipeline.", ls...),
+		retries: r.Counter("ogdp_fetch_retries_total",
+			"Retry attempts performed after transient failures.", ls...),
+		bytes: r.Counter("ogdp_fetch_bytes_total",
+			"Response body bytes received on successful requests.", ls...),
+		bodyBytes: r.Histogram("ogdp_fetch_body_bytes",
+			"Response body size per successful request, in bytes.",
+			obs.SizeBuckets, ls...),
+		backoff: r.Histogram("ogdp_fetch_backoff_seconds",
+			"Deterministic seeded backoff delay before each retry, in seconds.",
+			obs.DurationBuckets, ls...),
+		failures: func(kind string) *obs.Counter {
+			return r.Counter("ogdp_fetch_attempt_failures_total",
+				"Request attempts that failed transiently, by fault kind.",
+				c.stageLabels(stage, "kind", kind)...)
+		},
+	}
+	if c.Now != nil {
+		sm.reqSeconds = r.Histogram("ogdp_fetch_request_seconds",
+			"Wall time per request attempt, in seconds (recorded only under -trace's injected clock).",
+			obs.DurationBuckets, ls...)
+	}
+	return sm
+}
+
 // getWithRetry GETs u under the per-request deadline, retrying
 // transient failures — 5xx statuses, timeouts, connection errors,
-// truncated bodies — with deterministic exponential backoff. It
-// returns the final body and status; err is non-nil only when the
-// last attempt still failed transiently.
-func (c *Client) getWithRetry(ctx context.Context, key, u string) ([]byte, int, tally, error) {
+// truncated bodies — with deterministic exponential backoff. stage
+// names the pipeline stage for metric labels; key salts the backoff
+// jitter per logical request. It returns the final body and status;
+// err is non-nil only when the last attempt still failed transiently.
+func (c *Client) getWithRetry(ctx context.Context, stage, key, u string) ([]byte, int, tally, error) {
 	base := c.backoffBase()
 	bo := parallel.Backoff{Base: base, Max: 32 * base, Seed: c.Seed}
 	retries := c.retryBudget()
+	sm := c.stageMetrics(stage)
 	var t tally
 	for attempt := 1; ; attempt++ {
 		t.attempts++
+		sm.requests.Inc()
+		var start time.Time
+		if c.Now != nil {
+			start = c.Now()
+		}
 		body, status, err := c.getOnce(ctx, u)
+		if c.Now != nil {
+			sm.reqSeconds.ObserveDuration(c.Now().Sub(start))
+		}
 		if err == nil && status < 500 {
+			sm.bytes.Add(int64(len(body)))
+			sm.bodyBytes.Observe(float64(len(body)))
 			return body, status, t, nil
 		}
+		kind := "transport"
 		if err == nil {
 			err = fmt.Errorf("status %d", status)
+			kind = "status_5xx"
 		}
 		t.transient++
+		sm.failures(kind).Inc()
 		if attempt > retries || ctx.Err() != nil {
 			return nil, status, t, err
 		}
 		t.retries++
+		sm.retries.Inc()
+		// The delay is a pure function of (Seed, key, attempt), so this
+		// histogram is byte-identical for every worker count even under
+		// injected faults.
+		sm.backoff.Observe(bo.Delay(key, attempt).Seconds())
 		if bo.Sleep(ctx, key, attempt) != nil {
 			return nil, status, t, err
 		}

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"sort"
+	"time"
 
 	"ogdp/internal/ckan"
 	"ogdp/internal/classify"
@@ -33,6 +34,7 @@ import (
 	"ogdp/internal/join"
 	"ogdp/internal/keys"
 	"ogdp/internal/normalize"
+	"ogdp/internal/obs"
 	"ogdp/internal/parallel"
 	"ogdp/internal/profile"
 	"ogdp/internal/stats"
@@ -78,6 +80,21 @@ type Options struct {
 	// Results are byte-identical for every value — see the determinism
 	// contract in the package comment.
 	Workers int
+
+	// Metrics, when non-nil, receives the study's counters and
+	// histograms, labeled per portal. Everything recorded here is a
+	// pure function of (profiles, Scale, Seed), so snapshots are
+	// byte-identical for every Workers value.
+	Metrics *obs.Registry
+	// Trace, when non-nil, gains one child span per portal with the
+	// section tree beneath it. Spans carry task/item/byte counts; wall
+	// time appears only when the trace was built with a clock.
+	Trace *obs.Span
+	// Clock, when non-nil, is forwarded to the fetch client so the
+	// funnel measurement records per-request wall time. Study code
+	// itself never reads a clock; the CLIs inject time.Now only under
+	// -trace.
+	Clock func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -253,9 +270,16 @@ func sectionSeed(seed int64, salt int64) int64 {
 func Run(profiles []gen.PortalProfile, opts Options) *StudyResult {
 	opts = opts.withDefaults()
 	res := &StudyResult{Options: opts, Portals: make([]PortalResult, len(profiles))}
+	// Portal spans are created sequentially before the fan-out, so the
+	// trace tree's child order matches the profile list for every
+	// worker count.
+	spans := make([]*obs.Span, len(profiles))
+	for i, p := range profiles {
+		spans[i] = opts.Trace.Child("portal:" + p.Name)
+	}
 	parallel.ForEach(context.Background(), len(profiles), opts.Workers, func(i int) {
 		corpus := gen.Generate(profiles[i], opts.Scale, opts.Seed+int64(i))
-		res.Portals[i] = RunPortal(corpus, opts)
+		res.Portals[i] = runPortal(corpus, opts, spans[i])
 	})
 	return res
 }
@@ -265,26 +289,48 @@ func Run(profiles []gen.PortalProfile, opts Options) *StudyResult {
 // section salts above), so they overlap when opts.Workers allows.
 func RunPortal(corpus *gen.Corpus, opts Options) PortalResult {
 	opts = opts.withDefaults()
+	return runPortal(corpus, opts, opts.Trace.Child("portal:"+corpus.PortalName))
+}
+
+func runPortal(corpus *gen.Corpus, opts Options, span *obs.Span) PortalResult {
 	pr := PortalResult{Portal: corpus.PortalName, Corpus: corpus}
 
 	tables := corpus.Tables()
+	span.AddTasks(len(tables))
+	recordCorpusMetrics(corpus, opts.Metrics)
+
 	// Profile every table up front, fanning out per table: this is the
 	// bulk of §3's CPU, and it leaves the sections below reading an
 	// immutable cache instead of racing to fill it.
+	cacheSpan := span.Child("profile-cache")
+	cacheSpan.AddTasks(len(tables))
 	parallel.ForEach(context.Background(), len(tables), opts.Workers, func(i int) {
 		t := tables[i]
 		for c := range t.Cols {
 			t.Profile(c)
 		}
 	})
+	cacheSpan.End()
 	fdTables := fdSubset(corpus, opts.MaxFDTables)
 	oracle := gen.Truth(corpus)
+
+	// Section spans are created sequentially here — before the section
+	// fan-out — so the rendered tree is identical for every worker
+	// count even though the sections themselves overlap.
+	secProfile := span.Child("profile")
+	secKeys := span.Child("keys+fd")
+	secJoin := span.Child("join")
+	secUnion := span.Child("union")
+	portalLabels := []string{"portal", corpus.PortalName}
+	counter := func(name, help string, n int) {
+		opts.Metrics.Counter(name, help, portalLabels...).Add(int64(n))
+	}
 
 	sections := []func(){
 		func() { // ---- profiling (§3) ----
 			pc := profileCorpus(corpus)
 			if opts.FetchFunnel {
-				pc.Funnel = measureFunnel(corpus, opts.Seed, opts.Workers)
+				pc.Funnel = measureFunnel(corpus, opts, secProfile.Child("funnel"))
 			}
 			pr.Sizes = profile.Sizes(pc, opts.Compress)
 			pr.SizePercentiles = profile.SizePercentiles(pc, []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
@@ -294,14 +340,27 @@ func RunPortal(corpus *gen.Corpus, opts Options) PortalResult {
 			pr.Nulls = profile.Nulls(pc)
 			pr.Metadata = profile.Metadata(pc, 100)
 			pr.Uniqueness = profile.Uniqueness(pc)
+			secProfile.AddItems(len(pc.Tables))
+			secProfile.End()
 		},
 		func() { // ---- keys and FDs (§4) ----
+			secKeys.AddTasks(len(fdTables))
 			pr.KeySizeDist = keys.SizeDistributionParallel(fdTables, keys.MaxCandidateKeySize, opts.Workers)
-			pr.FD = fdAnalysis(fdTables, opts.Seed, opts.Workers)
+			var cost fdCost
+			pr.FD, cost = fdAnalysis(fdTables, opts.Seed, opts.Workers)
+			counter("ogdp_fd_tables_total", "Tables entering the FD/BCNF analysis.", len(fdTables))
+			counter("ogdp_fd_discovered_total", "Minimal non-trivial FDs discovered.", cost.fds)
+			counter("ogdp_fd_cardinalities_total", "Projection count-distinct evaluations performed by the FUN search.", cost.cardinalities)
+			secKeys.AddItems(cost.fds)
+			secKeys.End()
 		},
 		func() { // ---- joinability (§5) ----
+			secJoin.AddTasks(len(tables))
 			ja := join.Find(tables, join.Options{Workers: opts.Workers})
 			pr.Join = joinStats(tables, ja)
+			counter("ogdp_join_eligible_columns_total", "Columns passing the distinct-count filter of the join search.", ja.Eligible)
+			counter("ogdp_join_candidates_total", "Column pairs surfaced by the prefix-filter index for exact verification.", ja.Candidates)
+			counter("ogdp_join_pairs_total", "Joinable column pairs at the paper's Jaccard >= 0.9 threshold.", len(ja.Pairs))
 
 			if opts.Sensitivity {
 				ja07 := join.Find(tables, join.Options{MinJaccard: 0.7, Workers: opts.Workers})
@@ -313,13 +372,18 @@ func RunPortal(corpus *gen.Corpus, opts Options) PortalResult {
 			samples := classify.SampleJoinPairs(tables, ja.Pairs, oracle,
 				classify.SampleOptions{PerCell: opts.SamplePerCell}, rng)
 			pr.Labels = labelResults(tables, samples)
+			secJoin.AddItems(len(ja.Pairs))
+			secJoin.End()
 		},
 		func() { // ---- unionability (§6) ----
 			ua := union.Find(tables)
 			pr.Union = unionStats(corpus, ua)
+			counter("ogdp_union_groups_total", "Unionable schema groups found.", len(ua.Groups))
 			rng := rand.New(rand.NewSource(sectionSeed(opts.Seed, seedSaltUnionSample)))
 			unionSamples := classify.SampleUnionPairs(ua, oracle, opts.UnionSamples, rng)
 			pr.UnionLabels = classify.UnionLabelDist(unionSamples)
+			secUnion.AddItems(len(ua.Groups))
+			secUnion.End()
 		},
 	}
 	parallel.ForEach(context.Background(), len(sections), opts.Workers, func(i int) { sections[i]() })
@@ -330,7 +394,31 @@ func RunPortal(corpus *gen.Corpus, opts Options) PortalResult {
 		pr.Ext = &ext
 	}
 
+	span.End()
 	return pr
+}
+
+// recordCorpusMetrics publishes the corpus shape — table/dataset
+// counts and the row/column/byte distributions — for one portal. All
+// values derive from the generated corpus, so they are identical for
+// every worker count.
+func recordCorpusMetrics(corpus *gen.Corpus, r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	ls := []string{"portal", corpus.PortalName}
+	r.Counter("ogdp_tables_total", "Tables in the analyzed corpus.", ls...).Add(int64(len(corpus.Metas)))
+	r.Gauge("ogdp_corpus_datasets", "Datasets in the analyzed corpus.", ls...).Set(float64(len(corpus.Datasets)))
+	rows := r.Histogram("ogdp_table_rows", "Row count per corpus table.", obs.CountBuckets, ls...)
+	cols := r.Histogram("ogdp_table_cols", "Column count per corpus table.", obs.CountBuckets, ls...)
+	bytes := r.Histogram("ogdp_table_bytes", "Serialized CSV size per corpus table, in bytes.", obs.SizeBuckets, ls...)
+	cells := r.Counter("ogdp_cells_total", "Cells (rows x columns) across the corpus.", ls...)
+	for _, m := range corpus.Metas {
+		rows.Observe(float64(m.Table.NumRows()))
+		cols.Observe(float64(m.Table.NumCols()))
+		bytes.Observe(float64(m.RawSize))
+		cells.Add(int64(m.Table.NumRows()) * int64(m.Table.NumCols()))
+	}
 }
 
 // extensionStats runs the beyond-the-paper analyses.
@@ -403,15 +491,22 @@ func profileCorpus(c *gen.Corpus) *profile.Corpus {
 
 // measureFunnel serves the corpus through a CKAN API server and runs
 // the acquisition pipeline against it. The fetch client shares the
-// study's worker bound and is deterministic for every value of it.
-func measureFunnel(corpus *gen.Corpus, seed int64, workers int) profile.FunnelCounts {
-	portal := gen.BuildPortal(corpus, seed)
+// study's worker bound and is deterministic for every value of it;
+// its metrics land in the study registry under the portal label, and
+// its stage spans under the given span.
+func measureFunnel(corpus *gen.Corpus, opts Options, span *obs.Span) profile.FunnelCounts {
+	portal := gen.BuildPortal(corpus, opts.Seed)
 	srv := httptest.NewServer(ckan.NewServer(portal))
 	defer srv.Close()
 	client := ckan.NewClient(srv.URL)
-	client.Workers = workers
-	client.Seed = seed
+	client.Workers = opts.Workers
+	client.Seed = opts.Seed
+	client.Metrics = opts.Metrics
+	client.MetricLabels = []string{"portal", corpus.PortalName}
+	client.Trace = span
+	client.Now = opts.Clock
 	_, st, err := client.FetchAll()
+	span.End()
 	if err != nil {
 		return profile.FunnelCounts{}
 	}
@@ -454,12 +549,19 @@ func fdSubset(c *gen.Corpus, max int) []*table.Table {
 	return out
 }
 
+// fdCost aggregates the deterministic work counters of one portal's
+// FD analysis, for the observability layer.
+type fdCost struct {
+	cardinalities int
+	fds           int
+}
+
 // fdAnalysis fans FD discovery and BCNF decomposition out per table.
 // Each table draws its decomposition choices from an rng stream
 // derived from (seed, seedSaltFD, table index), and per-table results
 // are folded in index order, so the aggregate (including its
 // floating-point sums) is identical for every worker count.
-func fdAnalysis(tables []*table.Table, seed int64, workers int) FDStats {
+func fdAnalysis(tables []*table.Table, seed int64, workers int) (FDStats, fdCost) {
 	type tableFD struct {
 		cols      int
 		withFD    bool
@@ -468,11 +570,13 @@ func fdAnalysis(tables []*table.Table, seed int64, workers int) FDStats {
 		inBCNF    bool
 		partCols  []float64
 		gain      float64
+		cost      fd.Cost
 	}
 	per, _ := parallel.Map(context.Background(), len(tables), workers, func(i int) tableFD {
 		t := tables[i]
 		r := tableFD{cols: t.NumCols()}
-		fds := fd.Discover(t, fd.MaxLHS)
+		fds, cost := fd.DiscoverCost(t, fd.MaxLHS)
+		r.cost = cost
 		if len(fds) == 0 {
 			r.subTables = 1
 			r.inBCNF = true
@@ -494,12 +598,15 @@ func fdAnalysis(tables []*table.Table, seed int64, workers int) FDStats {
 	})
 
 	st := FDStats{DecompositionDist: map[int]int{}}
+	var cost fdCost
 	var cols float64
 	var decomposed, partCols, gains []float64
 	for _, r := range per {
 		st.Tables++
 		st.Columns += r.cols
 		cols += float64(r.cols)
+		cost.cardinalities += r.cost.Cardinalities
+		cost.fds += r.cost.FDs
 		if !r.withFD {
 			st.DecompositionDist[1]++
 			continue
@@ -523,7 +630,7 @@ func fdAnalysis(tables []*table.Table, seed int64, workers int) FDStats {
 	st.AvgDecomposed = stats.Mean(decomposed)
 	st.AvgPartitionCols = stats.Mean(partCols)
 	st.AvgUniquenessGain = stats.Mean(gains)
-	return st
+	return st, cost
 }
 
 func joinStats(tables []*table.Table, ja *join.Analysis) JoinStats {

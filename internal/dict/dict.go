@@ -1,18 +1,3 @@
-// Package dict extracts data dictionaries — column → description
-// mappings — from the metadata documents OGDPs publish. The paper
-// (§3.4) finds that outside SG almost all dictionaries are in
-// unstructured formats and calls automatic extraction "an important
-// research topic"; this package implements extraction for the formats
-// that dominate portals:
-//
-//   - structured CSV dictionaries ("column,description" rows),
-//   - HTML definition lists (<dt>column</dt><dd>description</dd>),
-//   - markdown-style bullet lists ("- column: description"),
-//   - plain "column: description" or "column – description" lines.
-//
-// Extraction is heuristic by necessity; Coverage measures how much of
-// a table's schema a candidate dictionary explains, which is the
-// signal a data system would use to accept or reject an extraction.
 package dict
 
 import (

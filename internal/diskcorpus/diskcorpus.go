@@ -1,8 +1,3 @@
-// Package diskcorpus loads a directory of CSV files into an analyzable
-// corpus, applying the paper's acquisition pipeline to local files:
-// content sniffing, header inference, cleaning, and the wide-table
-// cutoff. When an ogdpgen manifest (datasets.json) is present, tables
-// are attached to their datasets so intra-dataset signals work.
 package diskcorpus
 
 import (

@@ -170,11 +170,30 @@ func (e *engine) card(s attrset) int {
 // MaxColumns or with no rows yield no FDs. Constant columns are
 // reported as FDs with an empty LHS.
 func Discover(t *table.Table, maxLHS int) []FD {
+	fds, _ := DiscoverCost(t, maxLHS)
+	return fds
+}
+
+// Cost summarizes the work one Discover call performed, for the
+// observability layer. Both counts derive only from the table's
+// contents and maxLHS, so they are deterministic.
+type Cost struct {
+	// Cardinalities is the number of distinct count-distinct
+	// computations the FUN lattice exploration evaluated (cache
+	// misses of the projection-cardinality cache).
+	Cardinalities int
+	// FDs is the number of minimal non-trivial FDs found.
+	FDs int
+}
+
+// DiscoverCost is Discover plus the work counters the search accrued.
+func DiscoverCost(t *table.Table, maxLHS int) ([]FD, Cost) {
 	if t.NumCols() == 0 || t.NumCols() > MaxColumns || t.NumRows() == 0 || maxLHS < 1 {
-		return nil
+		return nil, Cost{}
 	}
 	e := newEngine(t)
-	return e.discover(maxLHS, false)
+	fds := e.discover(maxLHS, false)
+	return fds, Cost{Cardinalities: len(e.cards), FDs: len(fds)}
 }
 
 // HasNontrivialFD reports whether t has at least one non-trivial FD

@@ -1,0 +1,10 @@
+// Package ind discovers unary inclusion dependencies across a corpus:
+// column pairs A ⊆ B where every distinct value of A appears in B.
+// Inclusion dependencies are the formal shape of foreign-key
+// relationships, the joins §5.3 of the paper finds most likely to be
+// useful (key-involved, non-growing); discovering them complements the
+// Jaccard analysis of §5.1–§5.2, which misses containments between
+// columns of very different sizes (a 13-value province column inside a
+// 5000-row fact table never reaches 0.9 Jaccard against the 13-row
+// lookup).
+package ind

@@ -1,11 +1,3 @@
-// Package ind discovers unary inclusion dependencies across a corpus:
-// column pairs A ⊆ B where every distinct value of A appears in B.
-// Inclusion dependencies are the formal shape of foreign-key
-// relationships, the joins the paper finds most likely to be useful
-// (key-involved, non-growing); discovering them complements the
-// Jaccard analysis, which misses containments between columns of very
-// different sizes (a 13-value province column inside a 5000-row fact
-// table never reaches 0.9 Jaccard against the 13-row lookup).
 package ind
 
 import (

@@ -74,6 +74,12 @@ type Analysis struct {
 	Pairs []Pair
 	// Eligible counts columns that passed the MinUnique filter.
 	Eligible int
+	// Candidates counts the column pairs the prefix filter surfaced
+	// for exact verification — the search's cost driver, recorded so
+	// the observability layer can report index selectivity. It is
+	// generated sequentially, so the count is identical for every
+	// worker count.
+	Candidates int
 }
 
 // column is one indexed column.
@@ -98,6 +104,7 @@ func Find(tables []*table.Table, opts Options) *Analysis {
 	}
 
 	cands := candidatePairs(cols, opts.MinJaccard)
+	a.Candidates = len(cands)
 
 	// Exact verification dominates the search; shard it across workers.
 	// Each candidate writes only its own result slot, so the surviving
@@ -215,6 +222,7 @@ func FindAllPairs(tables []*table.Table, opts Options) *Analysis {
 			if cols[i].tbl == cols[j].tbl {
 				continue
 			}
+			a.Candidates++
 			if jv, ok := jaccard(cols[i].hashes, cols[j].hashes, opts.MinJaccard); ok {
 				a.Pairs = append(a.Pairs, makePair(tables, cols, i, j, jv))
 			}

@@ -1,0 +1,106 @@
+package obs_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ogdp/internal/ckan"
+	"ogdp/internal/gen"
+	"ogdp/internal/obs"
+)
+
+// crawl runs a full fetch against a freshly built faulty portal with
+// the given worker count and renders the resulting metrics snapshot
+// and span tree as text plus the snapshot as JSON.
+func crawl(t *testing.T, workers int) (text, jsonOut, tree string) {
+	t.Helper()
+	prof, ok := gen.ProfileByName("SG")
+	if !ok {
+		t.Fatal("SG portal profile missing")
+	}
+	corpus := gen.Generate(prof, 0.1, 1)
+	server := ckan.NewServer(gen.BuildPortal(corpus, 1))
+	server.InjectFaults(ckan.Faults{
+		Seed:        7,
+		PackageShow: ckan.FaultSpec{Rate500: 0.3},
+		Download:    ckan.FaultSpec{Rate500: 0.3, TruncateRate: 0.1},
+	})
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	root := obs.NewTrace("fetch")
+	client := ckan.NewClient(srv.URL)
+	client.Workers = workers
+	client.Seed = 1
+	client.Retries = 6
+	client.Backoff = -1
+	client.Metrics = reg
+	client.MetricLabels = []string{"portal", "SG"}
+	client.Trace = root
+
+	if _, _, err := client.FetchAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	var a, b, c strings.Builder
+	snap.WriteText(&a)
+	if err := snap.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	root.WriteTree(&c)
+	return a.String(), b.String(), c.String()
+}
+
+// TestSnapshotDeterministicAcrossWorkers is the package's acceptance
+// criterion end to end: a crawl against a portal injecting ~30%
+// transient faults must produce byte-identical metrics text, metrics
+// JSON, and span trees for Workers=1 and Workers=8. Everything the
+// registry records — request attempts, retries, backoff histograms,
+// failure kinds, funnel counters — is a pure function of (portal,
+// seeds), never of scheduling.
+func TestSnapshotDeterministicAcrossWorkers(t *testing.T) {
+	text1, json1, tree1 := crawl(t, 1)
+	text8, json8, tree8 := crawl(t, 8)
+
+	if text1 != text8 {
+		t.Errorf("metrics text differs between workers=1 and workers=8:\n--- w1 ---\n%s--- w8 ---\n%s", text1, text8)
+	}
+	if json1 != json8 {
+		t.Error("metrics JSON differs between workers=1 and workers=8")
+	}
+	if tree1 != tree8 {
+		t.Errorf("span tree differs between workers=1 and workers=8:\n--- w1 ---\n%s--- w8 ---\n%s", tree1, tree8)
+	}
+
+	// The run must actually have exercised the interesting paths:
+	// faults were injected, so retries and failure counters are
+	// non-zero, and all three fetch stages appear in the tree.
+	if !strings.Contains(text1, "ogdp_fetch_retries_total") {
+		t.Error("no retry counters recorded under 30% faults")
+	}
+	if !strings.Contains(text1, `ogdp_fetch_attempt_failures_total{kind="status_5xx"`) {
+		t.Error("no 5xx failure counters recorded under Rate500 faults")
+	}
+	for _, stage := range []string{ckan.StagePackageList, ckan.StagePackageShow, ckan.StageDownload} {
+		if !strings.Contains(tree1, stage) {
+			t.Errorf("span tree missing stage %q:\n%s", stage, tree1)
+		}
+	}
+	if strings.Contains(tree1, "wall=") || strings.Contains(text1, "request_seconds") {
+		t.Error("deterministic run must not record wall time (no clock was injected)")
+	}
+}
+
+// TestSnapshotDeterministicRepeatRuns re-runs the same configuration
+// and requires byte-identical output — the same contract the CLI's
+// -metrics flag promises across invocations.
+func TestSnapshotDeterministicRepeatRuns(t *testing.T) {
+	textA, jsonA, treeA := crawl(t, 4)
+	textB, jsonB, treeB := crawl(t, 4)
+	if textA != textB || jsonA != jsonB || treeA != treeB {
+		t.Error("repeat runs with identical configuration rendered differently")
+	}
+}

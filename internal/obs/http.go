@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugHandler returns an http.Handler serving the registry at
+// /metrics in the Prometheus text exposition format and the standard
+// runtime profiles under /debug/pprof/ (index, cmdline, profile,
+// symbol, trace, plus the named pprof.Handler profiles via the
+// index). The long-running CLIs mount it behind -debug-addr; it is
+// deliberately not wired into http.DefaultServeMux, so importing obs
+// never changes a server's surface.
+func NewDebugHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

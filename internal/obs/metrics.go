@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shared fixed bucket sets. Buckets are upper bounds (≤), with an
+// implicit +Inf bucket after the last; fixing them package-wide keeps
+// snapshots comparable across runs and PRs.
+var (
+	// DurationBuckets bounds duration histograms, in seconds
+	// (1ms … 60s).
+	DurationBuckets = []float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 60}
+	// SizeBuckets bounds byte-size histograms (256B … 256MiB).
+	SizeBuckets = []float64{256, 4096, 65536, 1 << 20, 16 << 20, 256 << 20}
+	// CountBuckets bounds cardinality histograms (rows, columns,
+	// tasks per batch).
+	CountBuckets = []float64{1, 5, 10, 50, 100, 1000, 10000, 100000}
+)
+
+// Registry holds a process's metrics. Metrics are registered lazily
+// and identified by (name, label set); re-registering the same
+// identity returns the existing metric. All methods are safe for
+// concurrent use and tolerate a nil receiver (every operation becomes
+// a no-op), so instrumented code never branches on "is observability
+// enabled".
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // keyed by canonical series id
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	help   string
+	kind   string // "counter" | "gauge" | "histogram"
+	labels []Label
+	id     string // canonical sort/identity key
+
+	value   atomic.Int64 // counter count / gauge micro-units
+	bounds  []float64    // histogram upper bounds
+	buckets []atomic.Int64
+	sumMu   sync.Mutex
+	sumMic  int64 // histogram sum in integer micro-units
+	count   atomic.Int64
+}
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// seriesID canonicalizes (name, labels) into a stable identity and
+// returns the sorted label set. Labels are passed as alternating
+// name, value strings; a trailing odd name is ignored.
+func seriesID(name string, labels []string) (string, []Label) {
+	ls := make([]Label, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		ls = append(ls, Label{Name: labels[i], Value: labels[i+1]})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	if len(ls) == 0 {
+		return name, nil
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String(), ls
+}
+
+// register returns the metric for (name, labels), creating it with
+// the given kind on first use. Registering an existing series with a
+// different kind panics: that is a programming error, not input.
+func (r *Registry) register(kind, name, help string, bounds []float64, labels []string) *metric {
+	if r == nil {
+		return nil
+	}
+	id, ls := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[id]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", id, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind, labels: ls, id: id, bounds: bounds}
+	if kind == "histogram" {
+		m.buckets = make([]atomic.Int64, len(bounds)+1)
+	}
+	r.metrics[id] = m
+	return m
+}
+
+// Counter registers (or finds) a monotonically increasing counter.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return (*Counter)(r.register("counter", name, help, nil, labels))
+}
+
+// Gauge registers (or finds) a gauge: a value that can go up and down.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return (*Gauge)(r.register("gauge", name, help, nil, labels))
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram. buckets
+// are inclusive upper bounds in ascending order; an implicit +Inf
+// bucket catches the rest. The bound slice is captured, not copied:
+// pass one of the package bucket sets or a dedicated literal.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	return (*Histogram)(r.register("histogram", name, help, buckets, labels))
+}
+
+// Counter is a monotonically increasing integer metric. The zero of
+// observability is a nil *Counter, whose methods no-op.
+type Counter metric
+
+// Add increases the counter by n (negative n is ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.value.Add(n)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.value.Load()
+}
+
+// Gauge is a metric that can move both ways, stored in integer
+// micro-units so concurrent updates stay exact.
+type Gauge metric
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.value.Store(micros(v))
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.value.Add(micros(delta))
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return float64(g.value.Load()) / 1e6
+}
+
+// Histogram is a fixed-bucket distribution. Observations accumulate
+// per-bucket counts and an integer micro-unit sum, so snapshots are
+// independent of the order concurrent observations landed in.
+type Histogram metric
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumMu.Lock()
+	h.sumMic += micros(v)
+	h.sumMu.Unlock()
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.sumMu.Lock()
+	defer h.sumMu.Unlock()
+	return float64(h.sumMic) / 1e6
+}
+
+// micros converts a float value to integer micro-units, rounding half
+// away from zero. Accumulating in integers keeps concurrent sums
+// associative, which is what makes snapshots byte-identical across
+// worker counts.
+func micros(v float64) int64 {
+	if v >= 0 {
+		return int64(v*1e6 + 0.5)
+	}
+	return -int64(-v*1e6 + 0.5)
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegisterSameSeriesReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "portal", "SG")
+	b := r.Counter("x_total", "", "portal", "SG")
+	a.Inc()
+	b.Inc()
+	if a != b {
+		t.Fatal("same (name, labels) must return the same metric")
+	}
+	if a.Value() != 2 {
+		t.Errorf("value = %d, want 2", a.Value())
+	}
+	// Label order must not matter for identity.
+	c := r.Counter("y_total", "", "a", "1", "b", "2")
+	d := r.Counter("y_total", "", "b", "2", "a", "1")
+	if c != d {
+		t.Error("label order must not change series identity")
+	}
+}
+
+func TestRegisterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 5, 10})
+	// Bounds are inclusive upper bounds: a sample exactly on a bound
+	// lands in that bound's bucket, not the next one.
+	for _, v := range []float64{0.5, 1, 1.0000001, 5, 9.99, 10, 11, 1e9} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	m := snap.Metrics[0]
+	want := []struct {
+		le    float64
+		count int64
+	}{
+		{1, 2},     // 0.5, 1
+		{5, 2},     // 1.0000001, 5
+		{10, 2},    // 9.99, 10
+		{inf(), 2}, // 11, 1e9
+	}
+	if len(m.Buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(m.Buckets), len(want))
+	}
+	for i, w := range want {
+		if m.Buckets[i].UpperBound != w.le || m.Buckets[i].Count != w.count {
+			t.Errorf("bucket %d = {le=%v n=%d}, want {le=%v n=%d}",
+				i, m.Buckets[i].UpperBound, m.Buckets[i].Count, w.le, w.count)
+		}
+	}
+	if m.Count != 8 {
+		t.Errorf("count = %d, want 8", m.Count)
+	}
+}
+
+func TestHistogramSumMicroUnits(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", DurationBuckets)
+	h.ObserveDuration(1500 * time.Millisecond)
+	h.ObserveDuration(250 * time.Microsecond)
+	if got, want := h.Sum(), 1.50025; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotSortedByID(t *testing.T) {
+	r := NewRegistry()
+	// Register in deliberately unsorted order.
+	r.Counter("z_total", "").Inc()
+	r.Counter("a_total", "", "portal", "UK").Inc()
+	r.Counter("a_total", "", "portal", "CA").Inc()
+	r.Gauge("m", "").Set(1)
+	snap := r.Snapshot()
+	var ids []string
+	for i := range snap.Metrics {
+		ids = append(ids, snap.Metrics[i].series())
+	}
+	want := []string{`a_total{portal="CA"}`, `a_total{portal="UK"}`, "m", "z_total"}
+	if strings.Join(ids, "|") != strings.Join(want, "|") {
+		t.Errorf("snapshot order = %v, want %v", ids, want)
+	}
+}
+
+func TestSnapshotValueLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", "stage", "download").Add(7)
+	snap := r.Snapshot()
+	if v, ok := snap.Value("c_total", "stage", "download"); !ok || v != 7 {
+		t.Errorf("Value = %v, %v; want 7, true", v, ok)
+	}
+	if _, ok := snap.Value("c_total", "stage", "other"); ok {
+		t.Error("lookup of an unrecorded series must report ok=false")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// A nil registry hands out nil metrics whose methods all no-op;
+	// instrumented code never branches on "is observability enabled".
+	var r *Registry
+	c := r.Counter("c", "")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter must read zero")
+	}
+	g := r.Gauge("g", "")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge must read zero")
+	}
+	h := r.Histogram("h", "", CountBuckets)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram must read zero")
+	}
+	if snap := r.Snapshot(); len(snap.Metrics) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+
+	var s *Span
+	if c := s.Child("x"); c != nil {
+		t.Error("nil span's child must be nil")
+	}
+	s.End()
+	s.AddDuration(time.Second)
+	s.AddTasks(1)
+	s.AddItems(1)
+	s.AddBytes(1)
+	if s.Timed() {
+		t.Error("nil span is not timed")
+	}
+	s.WriteTree(&strings.Builder{})
+}
+
+func TestStopwatchZeroValueInert(t *testing.T) {
+	var sw Stopwatch
+	if sw.Elapsed() != 0 {
+		t.Error("clockless stopwatch must read zero")
+	}
+	if sw.String() != "0.000s" {
+		t.Errorf("clockless stopwatch String = %q, want 0.000s", sw.String())
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0.000s"},
+		{-time.Second, "0.000s"},
+		{time.Millisecond, "0.001s"},
+		{1499 * time.Microsecond, "0.001s"}, // rounds half away: 1.499ms -> 1ms
+		{1500 * time.Microsecond, "0.002s"},
+		{1234 * time.Millisecond, "1.234s"},
+		{93120 * time.Millisecond, "93.120s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

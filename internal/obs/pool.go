@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PoolStats records worker-pool telemetry — batch sizes, per-worker
+// task counts, and the observed queue depth — into a registry. It
+// implements internal/parallel's Observer interface structurally, so
+// parallel never imports obs.
+//
+// This telemetry is scheduling-dependent by nature (which worker ran
+// a task, how deep the queue was when it finished), so it sits
+// outside the deterministic snapshot contract: the cmd/ layer only
+// installs a PoolStats when the operator asks for diagnostics
+// (-trace), never in the default -metrics mode.
+type PoolStats struct {
+	batches *Counter
+	tasks   *Histogram
+	depth   *Gauge
+
+	mu        sync.Mutex
+	perWorker map[int]*Counter
+	reg       *Registry
+}
+
+// NewPoolStats creates pool telemetry backed by r.
+func NewPoolStats(r *Registry) *PoolStats {
+	return &PoolStats{
+		batches: r.Counter("ogdp_pool_batches_total",
+			"worker-pool batches dispatched (ForEach/Map calls with work)"),
+		tasks: r.Histogram("ogdp_pool_batch_tasks",
+			"tasks per worker-pool batch", CountBuckets),
+		depth: r.Gauge("ogdp_pool_queue_depth",
+			"unclaimed tasks in the most recently sampled batch"),
+		perWorker: make(map[int]*Counter),
+		reg:       r,
+	}
+}
+
+// PoolStart is called once per batch with the task and worker counts.
+func (p *PoolStats) PoolStart(tasks, workers int) {
+	if p == nil {
+		return
+	}
+	p.batches.Inc()
+	p.tasks.Observe(float64(tasks))
+}
+
+// TaskDone is called after each completed task with the index of the
+// worker that ran it and the number of tasks not yet claimed.
+func (p *PoolStats) TaskDone(worker, remaining int) {
+	if p == nil {
+		return
+	}
+	p.workerCounter(worker).Inc()
+	p.depth.Set(float64(remaining))
+}
+
+func (p *PoolStats) workerCounter(worker int) *Counter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.perWorker[worker]
+	if !ok {
+		c = p.reg.Counter("ogdp_pool_tasks_total",
+			"tasks completed per pool worker",
+			"worker", fmt.Sprintf("%02d", worker))
+		p.perWorker[worker] = c
+	}
+	return c
+}

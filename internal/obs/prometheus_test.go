@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildSnapshot produces a snapshot exercising every Prometheus
+// rendering path: bare counter, labeled counter family with multiple
+// series, gauge, histogram, and label values needing escaping.
+func buildSnapshot() *Snapshot {
+	r := NewRegistry()
+	r.Counter("ogdp_tables_total", "Tables profiled.").Add(42)
+	r.Counter("ogdp_fetch_requests_total", "HTTP attempts.", "stage", "download").Add(15)
+	r.Counter("ogdp_fetch_requests_total", "HTTP attempts.", "stage", "package_show").Add(9)
+	r.Gauge("ogdp_corpus_datasets", "Datasets in the generated corpus.").Set(31)
+	h := r.Histogram("ogdp_fetch_body_bytes", "Response body sizes.", SizeBuckets, "portal", "SG")
+	for _, v := range []float64{100, 5000, 5000, 2 << 20} {
+		h.Observe(v)
+	}
+	r.Counter("ogdp_weird_total", "Help with\nnewline and \\ backslash.",
+		"path", `C:\data "quoted"`).Inc()
+	return r.Snapshot()
+}
+
+// TestPrometheusFormat validates the exposition output line by line
+// against the text format 0.0.4 grammar: every line is a comment or a
+// sample, names and labels are well-formed, each family has exactly one
+// TYPE line preceding its samples, and histogram buckets are cumulative
+// and end at +Inf.
+func TestPrometheusFormat(t *testing.T) {
+	var b strings.Builder
+	buildSnapshot().WritePrometheus(&b)
+	out := b.String()
+
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$`)
+	)
+	typed := map[string]string{} // family -> type
+	sampled := map[string]bool{} // families that emitted samples
+
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Error("blank line in exposition output")
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Errorf("malformed comment: %q", line)
+				continue
+			}
+			if !nameRe.MatchString(parts[2]) {
+				t.Errorf("bad metric name in comment: %q", line)
+			}
+			if parts[1] == "TYPE" {
+				if _, dup := typed[parts[2]]; dup {
+					t.Errorf("duplicate TYPE for %s", parts[2])
+				}
+				if sampled[parts[2]] {
+					t.Errorf("TYPE for %s after its samples", parts[2])
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					t.Errorf("unknown type %q", parts[3])
+				}
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" {
+			t.Errorf("unparseable sample value %q in %q", value, line)
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if typed[family] == "" && typed[name] == "" {
+			t.Errorf("sample %q has no preceding TYPE", line)
+		}
+		sampled[family] = true
+		for _, l := range splitLabels(t, labels) {
+			if !labelRe.MatchString(l.Name) {
+				t.Errorf("bad label name %q in %q", l.Name, line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Histogram structure: buckets cumulative, terminal le="+Inf",
+	// +Inf bucket equals _count.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var cum []int64
+	var infCount, count int64 = -1, -1
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "ogdp_fetch_body_bytes_bucket"):
+			n, _ := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			cum = append(cum, n)
+			if strings.Contains(line, `le="+Inf"`) {
+				infCount = n
+			}
+		case strings.HasPrefix(line, "ogdp_fetch_body_bytes_count"):
+			count, _ = strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		}
+	}
+	if len(cum) != len(SizeBuckets)+1 {
+		t.Fatalf("bucket lines = %d, want %d", len(cum), len(SizeBuckets)+1)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("buckets not cumulative: %v", cum)
+		}
+	}
+	if infCount != count || count != 4 {
+		t.Errorf("+Inf bucket = %d, _count = %d; want both 4", infCount, count)
+	}
+
+	// Escaping: the quoted label value must round-trip as a Go quoted
+	// string (Prometheus label escaping is a subset of Go's).
+	if !strings.Contains(out, `path="C:\\data \"quoted\""`) {
+		t.Errorf("label escaping missing from output:\n%s", out)
+	}
+}
+
+// TestPrometheusDeterministic renders the same logical state from two
+// independently built registries and requires identical bytes.
+func TestPrometheusDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	buildSnapshot().WritePrometheus(&a)
+	buildSnapshot().WritePrometheus(&b)
+	if a.String() != b.String() {
+		t.Error("two identical registries rendered differently")
+	}
+}
+
+// TestJSONRoundTrip checks the snapshot's JSON form is valid and the
+// +Inf bucket is encoded as the string "+Inf" (JSON has no Inf).
+func TestJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := buildSnapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"le": "+Inf"`) {
+		t.Error("terminal bucket must encode le as \"+Inf\"")
+	}
+	var c strings.Builder
+	if err := buildSnapshot().WriteJSON(&c); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != c.String() {
+		t.Error("JSON rendering not deterministic")
+	}
+}
+
+// splitLabels parses a {a="x",b="y"} block. Values were escaped by
+// promLabels, so an unescaped parse of name= boundaries suffices for
+// validating label names.
+func splitLabels(t *testing.T, block string) []Label {
+	t.Helper()
+	if block == "" {
+		return nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var out []Label
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq < 0 || eq+1 >= len(inner) || inner[eq+1] != '"' {
+			t.Errorf("malformed label block %q", block)
+			return out
+		}
+		name := inner[:eq]
+		rest := inner[eq+2:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Errorf("unterminated label value in %q", block)
+			return out
+		}
+		out = append(out, Label{Name: name, Value: rest[:end]})
+		inner = strings.TrimPrefix(rest[end+1:], ",")
+	}
+	return out
+}

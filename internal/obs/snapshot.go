@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a Registry, ordered by
+// canonical series id (name plus sorted labels), so rendering it in
+// any format is deterministic.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric is one series in a snapshot.
+type Metric struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Type   string  `json:"type"`
+	Labels []Label `json:"labels,omitempty"`
+	// Value is the counter or gauge value; zero for histograms.
+	Value float64 `json:"value,omitempty"`
+	// Histogram fields.
+	Count   int64    `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+
+	id string
+}
+
+// Bucket is one histogram bucket: the count of samples ≤ UpperBound.
+// The +Inf bucket is rendered with UpperBound = +Inf (JSON: omitted).
+type Bucket struct {
+	UpperBound float64 `json:"le,omitempty"`
+	Count      int64   `json:"count"`
+}
+
+// Snapshot copies the registry's current state. The result is sorted
+// by series id, so two registries that recorded the same values render
+// byte-identically regardless of registration or scheduling order.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for _, m := range r.metrics {
+		s.Metrics = append(s.Metrics, m.export())
+	}
+	r.mu.Unlock()
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].id < s.Metrics[j].id })
+	return s
+}
+
+func (m *metric) export() Metric {
+	out := Metric{Name: m.name, Help: m.help, Type: m.kind, Labels: m.labels, id: m.id}
+	switch m.kind {
+	case "counter":
+		out.Value = float64(m.value.Load())
+	case "gauge":
+		out.Value = float64(m.value.Load()) / 1e6
+	case "histogram":
+		h := (*Histogram)(m)
+		out.Count = h.Count()
+		out.Sum = h.Sum()
+		out.Buckets = make([]Bucket, 0, len(m.buckets))
+		for i := range m.buckets {
+			b := Bucket{Count: m.buckets[i].Load()}
+			if i < len(m.bounds) {
+				b.UpperBound = m.bounds[i]
+			} else {
+				b.UpperBound = inf()
+			}
+			out.Buckets = append(out.Buckets, b)
+		}
+	}
+	return out
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// Value returns the value of the named counter or gauge series, or
+// (0, false) when it is not in the snapshot. Labels are alternating
+// name, value pairs, as in Registry.Counter.
+func (s *Snapshot) Value(name string, labels ...string) (float64, bool) {
+	id, _ := seriesID(name, labels)
+	for i := range s.Metrics {
+		if s.Metrics[i].id == id {
+			return s.Metrics[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// series renders the id for display; the stored id already carries
+// the canonical label order.
+func (m *Metric) series() string { return m.id }
+
+// WriteText renders the snapshot as aligned human-readable text.
+func (s *Snapshot) WriteText(w io.Writer) {
+	width := 0
+	for i := range s.Metrics {
+		if n := len(s.Metrics[i].series()); n > width {
+			width = n
+		}
+	}
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		switch m.Type {
+		case "histogram":
+			fmt.Fprintf(w, "%-*s  count=%d sum=%s\n", width, m.series(), m.Count, formatFloat(m.Sum))
+			for _, b := range m.Buckets {
+				if b.UpperBound >= inf() {
+					fmt.Fprintf(w, "    >%-12s %d\n", formatFloat(lastBound(m)), b.Count)
+				} else {
+					fmt.Fprintf(w, "    ≤%-12s %d\n", formatFloat(b.UpperBound), b.Count)
+				}
+			}
+		default:
+			fmt.Fprintf(w, "%-*s  %s\n", width, m.series(), formatFloat(m.Value))
+		}
+	}
+}
+
+func lastBound(m *Metric) float64 {
+	if len(m.Buckets) < 2 {
+		return 0
+	}
+	return m.Buckets[len(m.Buckets)-2].UpperBound
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// MarshalJSON keeps the +Inf bucket encodable: JSON has no Inf, so
+// the terminal bucket drops its le field.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	if b.UpperBound >= inf() {
+		return []byte(fmt.Sprintf(`{"le":"+Inf","count":%d}`, b.Count)), nil
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, formatFloat(b.UpperBound), b.Count)), nil
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE pair per metric
+// family followed by its series; histograms expand into _bucket
+// (cumulative, with le labels), _sum, and _count series.
+func (s *Snapshot) WritePrometheus(w io.Writer) {
+	lastFamily := ""
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name != lastFamily {
+			lastFamily = m.Name
+			if m.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type)
+		}
+		switch m.Type {
+		case "histogram":
+			cum := int64(0)
+			for _, b := range m.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.UpperBound < inf() {
+					le = formatFloat(b.UpperBound)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, "le", le), cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabels(m.Labels), formatFloat(m.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels), m.Count)
+		default:
+			fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabels(m.Labels), formatFloat(m.Value))
+		}
+	}
+}
+
+// promLabels renders a label set ({a="x",le="5"} or ""), appending
+// any extra alternating name, value pairs.
+func promLabels(labels []Label, extra ...string) string {
+	all := labels
+	if len(extra) > 0 {
+		all = append([]Label{}, labels...)
+		for i := 0; i+1 < len(extra); i += 2 {
+			all = append(all, Label{Name: extra[i], Value: extra[i+1]})
+		}
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float with the shortest exact decimal form,
+// the same spelling for every run and platform.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

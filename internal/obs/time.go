@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// FormatDuration renders d as seconds with fixed millisecond
+// precision ("1.234s", "0.050s", "93.120s"). time.Duration's String
+// changes unit and precision with magnitude (500ms, 1.5s, 1m3.2s);
+// a single fixed spelling keeps timing lines greppable with one
+// pattern and diff-stripping recipes exact.
+func FormatDuration(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	ms := (d + time.Millisecond/2) / time.Millisecond
+	return fmt.Sprintf("%d.%03ds", ms/1000, ms%1000)
+}
+
+// Stopwatch measures elapsed time through an injected clock. The
+// zero value (no clock) always reads zero, so deterministic code can
+// hold a Stopwatch without ever touching wall time; the cmd/ layer
+// constructs real ones with time.Now.
+type Stopwatch struct {
+	now   func() time.Time
+	start time.Time
+}
+
+// NewStopwatch starts a stopwatch on the given clock; a nil clock
+// yields the inert zero value.
+func NewStopwatch(now func() time.Time) Stopwatch {
+	if now == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{now: now, start: now()}
+}
+
+// Elapsed returns the time since the stopwatch started, rounded to
+// the millisecond; zero when no clock was injected.
+func (s Stopwatch) Elapsed() time.Duration {
+	if s.now == nil {
+		return 0
+	}
+	return s.now().Sub(s.start).Round(time.Millisecond)
+}
+
+// String renders the elapsed time in the fixed FormatDuration form.
+func (s Stopwatch) String() string { return FormatDuration(s.Elapsed()) }

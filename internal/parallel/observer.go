@@ -1,0 +1,43 @@
+package parallel
+
+import "sync/atomic"
+
+// Observer receives pool telemetry. It is defined here (and satisfied
+// structurally by obs.PoolStats) so the pool stays dependency-free.
+//
+// The callbacks report scheduling facts — which worker ran a task,
+// how many tasks were still unclaimed — that are inherently
+// nondeterministic across worker counts. Install an observer only for
+// diagnostics (the CLIs' -trace flag does); never feed its output
+// into anything covered by the byte-identical snapshot contract.
+type Observer interface {
+	// PoolStart is called once per ForEach/Map batch that dispatches
+	// work, with the task count and the worker count actually used.
+	PoolStart(tasks, workers int)
+	// TaskDone is called after each completed task with the 0-based
+	// index of the worker that ran it (the sequential fast path is
+	// worker 0) and the number of tasks not yet claimed.
+	TaskDone(worker, remaining int)
+}
+
+// observer holds the installed Observer; atomic so installation never
+// races with running pools.
+var observer atomic.Value // of obsBox
+
+// obsBox keeps atomic.Value happy when storing different concrete
+// Observer types (including nil).
+type obsBox struct{ o Observer }
+
+// SetObserver installs (or, with nil, removes) the process-wide pool
+// observer. Intended to be called once at CLI startup, before any
+// pools run.
+func SetObserver(o Observer) {
+	observer.Store(obsBox{o: o})
+}
+
+func currentObserver() Observer {
+	if b, ok := observer.Load().(obsBox); ok {
+		return b.o
+	}
+	return nil
+}

@@ -59,12 +59,19 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
+	obs := currentObserver()
+	if obs != nil {
+		obs.PoolStart(n, workers)
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			fn(i)
+			if obs != nil {
+				obs.TaskDone(0, n-1-i)
+			}
 		}
 		return nil
 	}
@@ -79,7 +86,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 	next.Store(-1)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				if stop.Load() || ctx.Err() != nil {
@@ -102,8 +109,15 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 					}()
 					fn(i)
 				}()
+				if obs != nil {
+					remaining := n - 1 - int(next.Load())
+					if remaining < 0 {
+						remaining = 0
+					}
+					obs.TaskDone(worker, remaining)
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if caught != nil {

@@ -1,0 +1,11 @@
+// Package rank orders joinable and unionable candidates for
+// suggestion, the open problem the paper closes §6 with: "even if
+// multiple tables can be unioned with a target table because they have
+// the same unionability score, they should still be ranked using other
+// relatedness metrics". Join ranking combines the non-value signals
+// §5.3 found predictive (dataset locality, key involvement, join-column
+// type, expansion); union ranking scores candidates that share all but
+// one partition dimension above those that differ everywhere (the
+// housing-dataset example of §4.1: same council with a different house
+// type beats a different council and a different house type).
+package rank

@@ -1,0 +1,9 @@
+// Package search provides the query-table discovery operations the
+// dataset search systems discussed in the paper (§2, §5–§6) expose —
+// Auctus, Toronto Open Data Search, JOSIE: given a query table — not
+// necessarily part of the corpus — find the columns it can join with,
+// ranked top-k by exact value overlap (JOSIE's semantics, the ground
+// truth behind the §5 joinability study), and the tables it can union
+// with (§4). An inverted index over distinct column values answers
+// queries without rescanning the corpus.
+package search

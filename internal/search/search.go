@@ -1,10 +1,3 @@
-// Package search provides the query-table discovery operations the
-// dataset search systems discussed in the paper expose (Auctus,
-// Toronto Open Data Search, JOSIE): given a query table — not
-// necessarily part of the corpus — find the columns it can join with,
-// ranked top-k by exact value overlap (JOSIE's semantics), and the
-// tables it can union with. An inverted index over distinct column
-// values answers queries without rescanning the corpus.
 package search
 
 import (

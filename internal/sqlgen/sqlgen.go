@@ -1,9 +1,3 @@
-// Package sqlgen renders analyzed tables as SQL DDL: column types
-// from inference, primary keys from key discovery, and foreign keys
-// from inclusion-dependency analysis. The paper's §4.3 suggests data
-// systems should decompose OGDP tables and serve the base tables;
-// exporting a decomposition as a relational schema (plus INSERT-ready
-// column order) is the concrete form of that suggestion.
 package sqlgen
 
 import (

@@ -1,0 +1,10 @@
+// Package values implements the value-level model of the OGDP study:
+// null detection, scalar parsing, and column data type inference.
+//
+// The paper (§3.3) detects nulls as empty cells plus a manual list of
+// popular null spellings. Section 5.3 classifies join columns into the
+// data types {incremental integer, integer, categorical, string,
+// timestamp, geo-spatial}; Table 4 additionally groups columns into the
+// two broad classes text and numeric. This package implements all three
+// granularities.
+package values

@@ -47,6 +47,7 @@ import (
 	"ogdp/internal/join"
 	"ogdp/internal/keys"
 	"ogdp/internal/normalize"
+	"ogdp/internal/obs"
 	"ogdp/internal/rank"
 	"ogdp/internal/report"
 	"ogdp/internal/search"
@@ -138,6 +139,16 @@ type (
 	// FaultSpec describes one endpoint's injected failures (transient
 	// 500s, truncated bodies, latency).
 	FaultSpec = ckan.FaultSpec
+	// MetricsRegistry collects deterministic counters, gauges, and
+	// fixed-bucket histograms; attach one to FetchClient.Metrics or
+	// StudyOptions.Metrics and snapshot it after the run.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, sorted
+	// into canonical series order; render it with WriteText,
+	// WriteJSON, or WritePrometheus.
+	MetricsSnapshot = obs.Snapshot
+	// TraceSpan is one stage of a run in a trace tree (see NewTrace).
+	TraceSpan = obs.Span
 )
 
 // Labels.
@@ -324,6 +335,18 @@ func FindUnionableFuzzy(tables []*Table) []FuzzyUnionPair {
 func DiscoverINDs(tables []*Table) []IND {
 	return ind.Find(tables, ind.Options{})
 }
+
+// NewMetricsRegistry creates an empty metrics registry. Everything
+// the pipeline records into it is deterministic — wall time never
+// enters unless a clock is explicitly injected — so snapshots are
+// byte-identical for every worker count.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTrace creates a clockless root span: the tree records task,
+// item, and byte counts only, and renders identically across runs.
+// Attach it to StudyOptions.Trace or FetchClient.Trace and render it
+// with TraceSpan.WriteTree.
+func NewTrace(name string) *TraceSpan { return obs.NewTrace(name) }
 
 // ExportSQL renders the tables as CREATE TABLE statements with
 // inferred column types, discovered primary keys, and (when fks is
