@@ -585,7 +585,7 @@ func BenchmarkAblationExactVsLSH(b *testing.B) {
 					if p.Distinct < join.DefaultMinUnique {
 						continue
 					}
-					ix.Add(minhash.Sketch(p.Counts, 128))
+					ix.Add(minhash.Sketch(p.ValueHashes(), 128))
 					refs = append(refs, ref{ti, ci})
 				}
 			}
@@ -607,7 +607,7 @@ func BenchmarkAblationExactVsLSH(b *testing.B) {
 					if p.Distinct < join.DefaultMinUnique {
 						continue
 					}
-					ix.Add(minhash.Sketch(p.Counts, 128))
+					ix.Add(minhash.Sketch(p.ValueHashes(), 128))
 					refs = append(refs, ref{ti, ci})
 				}
 			}

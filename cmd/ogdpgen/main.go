@@ -1,6 +1,9 @@
 // Command ogdpgen generates a synthetic portal corpus to a directory:
-// one CSV file per table plus a datasets.json manifest with the CKAN
-// metadata (dataset ids, titles, publication dates, metadata styles).
+// one CSV file per table, a datasets.json manifest with the CKAN
+// metadata (dataset ids, titles, publication dates, metadata styles),
+// and a provenance.json recording the full generation provenance so
+// the corpus can be reloaded for an identical study run
+// (ogdpreport -dir).
 //
 // Usage:
 //
@@ -8,27 +11,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
-	"time"
 
 	"ogdp/cmd/internal/cli"
-	"ogdp/internal/csvio"
 	"ogdp/internal/gen"
 )
-
-type manifestDataset struct {
-	ID        string    `json:"id"`
-	Title     string    `json:"title"`
-	Category  string    `json:"category"`
-	Published time.Time `json:"published"`
-	Metadata  string    `json:"metadata_style"`
-	Tables    []string  `json:"tables"`
-}
 
 func main() {
 	log.SetFlags(0)
@@ -49,60 +39,19 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown portal %q (want SG, CA, UK, or US)", *portal)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
-	}
 
 	sw := cli.Start()
 	corpus := gen.Generate(prof, *scale, *seed)
-	styleNames := []string{"lacking", "structured", "unstructured", "outside"}
-
-	manifest := make([]manifestDataset, 0, len(corpus.Datasets))
-	byDataset := map[string][]string{}
-	var totalBytes int64
-	for _, m := range corpus.Metas {
-		path := filepath.Join(*out, m.Table.Name)
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := csvio.Write(f, m.Table); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		byDataset[m.Dataset] = append(byDataset[m.Dataset], m.Table.Name)
-		totalBytes += m.RawSize
-	}
-	for _, d := range corpus.Datasets {
-		manifest = append(manifest, manifestDataset{
-			ID:        d.ID,
-			Title:     d.Title,
-			Category:  d.Category,
-			Published: d.Published,
-			Metadata:  styleNames[d.Metadata],
-			Tables:    byDataset[d.ID],
-		})
-	}
-	mf, err := os.Create(filepath.Join(*out, "datasets.json"))
+	st, err := gen.SaveCorpus(*out, corpus)
 	if err != nil {
 		log.Fatal(err)
 	}
-	enc := json.NewEncoder(mf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(manifest); err != nil {
-		log.Fatal(err)
-	}
-	if err := mf.Close(); err != nil {
-		log.Fatal(err)
-	}
 
-	ob.Trace().AddTasks(len(corpus.Metas))
-	ob.Trace().AddItems(len(corpus.Datasets))
-	ob.Trace().AddBytes(totalBytes)
+	ob.Trace().AddTasks(st.Tables)
+	ob.Trace().AddItems(st.Datasets)
+	ob.Trace().AddBytes(st.Bytes)
 	fmt.Printf("wrote %d datasets, %d tables (%.1f MiB) to %s\n",
-		len(corpus.Datasets), len(corpus.Metas), float64(totalBytes)/(1<<20), *out)
+		st.Datasets, st.Tables, float64(st.Bytes)/(1<<20), *out)
 	sw.PrintCompleted(os.Stdout)
 	ob.Finish(os.Stdout)
 }

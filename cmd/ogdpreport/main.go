@@ -6,6 +6,12 @@
 //
 //	ogdpreport -scale 0.5 -seed 1        # heavier, closer to calibrated sizes
 //	ogdpreport -scale 0.1 -fast          # quick pass
+//	ogdpreport -dir ./corpus-ca          # study an on-disk corpus
+//
+// With -dir the study runs over a saved corpus instead of generating
+// one: a directory written by ogdpgen (with its provenance.json)
+// reproduces the full study including ground-truth labeling, while
+// any other directory of CSVs gets the structural analyses.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"ogdp/cmd/internal/cli"
 	"ogdp/internal/core"
+	"ogdp/internal/diskcorpus"
 	"ogdp/internal/gen"
 	"ogdp/internal/report"
 )
@@ -28,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	fast := flag.Bool("fast", false, "skip the HTTP funnel and cap FD analysis")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
+	dir := flag.String("dir", "", "run the study over an on-disk corpus instead of generating one")
 	ob := cli.StandardObs()
 	flag.Parse()
 	ob.Start("ogdpreport")
@@ -52,7 +60,16 @@ func main() {
 	}
 
 	sw := cli.Start()
-	res := core.Run(gen.Profiles(), opts)
+	var res *core.StudyResult
+	if *dir != "" {
+		src, err := diskcorpus.LoadStudy(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = &core.StudyResult{Options: opts, Portals: []core.PortalResult{core.RunPortal(src, opts)}}
+	} else {
+		res = core.Run(gen.Profiles(), opts)
+	}
 	report.All(os.Stdout, res)
 	report.Summary(os.Stdout, res)
 	fmt.Printf("\nfull study completed in %s (scale %.2f, seed %d)\n",

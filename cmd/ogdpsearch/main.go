@@ -86,11 +86,11 @@ func main() {
 			if p.Distinct < search.MinUniqueDefault {
 				continue
 			}
-			ix.Add(minhash.Sketch(p.Counts, 128))
+			ix.Add(minhash.Sketch(p.ValueHashes(), 128))
 			refs = append(refs, search.ColumnRef{Table: ti, Column: c})
 		}
 	}
-	qsig := minhash.Sketch(q.Profile(ci).Counts, 128)
+	qsig := minhash.Sketch(q.Profile(ci).ValueHashes(), 128)
 	for i, cand := range ix.Query(qsig, 0.8) {
 		if i == *k {
 			break

@@ -14,6 +14,7 @@ func Checks() []*Check {
 		wraperrCheck,
 		floatcmpCheck,
 		ctxfirstCheck,
+		rawdataCheck,
 	}
 }
 

@@ -1,0 +1,64 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rawdataCheck guards the dictionary-encoded storage layer: Table.Data
+// holds the raw cell strings, and every analysis path is expected to
+// go through the Value/Column accessors or the per-column Encoding
+// (dictionary + codes) so profiling stays cache-backed and the
+// encoding invariants hold. Direct Data access outside internal/table
+// and internal/csvio reintroduces string-at-a-time hot loops and can
+// observe cells the encoding cache has not seen. The check matches the
+// storage shape — a named type Table carrying a Data [][]string field
+// — rather than the declaring package path, so the fixture stays
+// self-contained under the test loader (which cannot import module
+// packages); the real table.Table is the only such type in the tree.
+var rawdataCheck = &Check{
+	Name: "rawdata",
+	Doc:  "Table.Data may be touched only inside internal/table and internal/csvio; analysis code goes through Value/Column accessors or the column Encoding",
+	Run:  runRawData,
+}
+
+// rawdataExempt are the storage-layer packages that own the raw cell
+// representation.
+var rawdataExempt = map[string]bool{
+	"ogdp/internal/table": true,
+	"ogdp/internal/csvio": true,
+}
+
+// rawCellStore is the storage layout the check keys on: [][]string.
+var rawCellStore = types.NewSlice(types.NewSlice(types.Typ[types.String]))
+
+func runRawData(p *Pass) {
+	if rawdataExempt[p.Pkg.Path] {
+		return
+	}
+	info := p.Pkg.Info
+	inspectAll(p, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		f := s.Obj()
+		if f.Name() != "Data" || !types.Identical(f.Type(), rawCellStore) {
+			return true
+		}
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Name() != "Table" {
+			return true
+		}
+		p.Reportf(sel.Pos(), "direct access to Table.Data outside the storage layer: raw cells bypass the dictionary encoding; use Value/Column or the column Encoding")
+		return true
+	})
+}

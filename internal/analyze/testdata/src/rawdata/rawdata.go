@@ -1,0 +1,60 @@
+// Package rawdata exercises the rawdata check: Table.Data, the raw
+// cell store behind the dictionary-encoded columns, may be touched
+// only inside the storage layer (internal/table, internal/csvio).
+package rawdata
+
+// Table mirrors the storage layout of ogdp/internal/table.Table. The
+// check matches the shape — a named Table carrying Data [][]string —
+// so the fixture stays self-contained.
+type Table struct {
+	Cols []string
+	Data [][]string
+}
+
+type meta struct {
+	Table *Table
+}
+
+func read(t *Table) string {
+	return t.Data[0][0] // finding: raw cell read
+}
+
+func iterate(t *Table) int {
+	n := 0
+	for _, col := range t.Data { // finding: raw column walk
+		n += len(col)
+	}
+	return n
+}
+
+func write(t *Table, rows [][]string) {
+	t.Data = rows // finding: writes bypass the encoding cache
+}
+
+func chained(m meta) int {
+	return len(m.Table.Data) // finding: chained selector still raw access
+}
+
+func cols(t *Table) []string {
+	return t.Cols // ok: schema, not raw cells
+}
+
+type report struct {
+	Data []byte
+}
+
+func otherData(r report) []byte {
+	return r.Data // ok: Data field on a non-Table type
+}
+
+type logTable struct {
+	Data []string
+}
+
+func otherShape(t logTable) []string {
+	return t.Data // ok: not the [][]string cell store
+}
+
+func allowed(t *Table) int {
+	return len(t.Data) //lint:allow(rawdata) capacity probe documented in the storage notes
+}

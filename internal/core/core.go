@@ -28,6 +28,7 @@ import (
 
 	"ogdp/internal/ckan"
 	"ogdp/internal/classify"
+	"ogdp/internal/corpus"
 	"ogdp/internal/fd"
 	"ogdp/internal/gen"
 	"ogdp/internal/ind"
@@ -207,7 +208,10 @@ type LabelResults struct {
 // PortalResult bundles every experiment for one portal.
 type PortalResult struct {
 	Portal string
-	Corpus *gen.Corpus
+	// Corpus is the analyzed corpus. Generated studies store the
+	// *gen.Corpus here; RunPortal preserves whatever Source it was
+	// given (e.g. a disk-loaded corpus).
+	Corpus corpus.Source
 
 	Sizes           profile.PortalSizes      // Table 1
 	SizePercentiles []profile.SizePercentile // Figure 1
@@ -278,8 +282,8 @@ func Run(profiles []gen.PortalProfile, opts Options) *StudyResult {
 		spans[i] = opts.Trace.Child("portal:" + p.Name)
 	}
 	parallel.ForEach(context.Background(), len(profiles), opts.Workers, func(i int) {
-		corpus := gen.Generate(profiles[i], opts.Scale, opts.Seed+int64(i))
-		res.Portals[i] = runPortal(corpus, opts, spans[i])
+		c := gen.Generate(profiles[i], opts.Scale, opts.Seed+int64(i))
+		res.Portals[i] = runPortal(c, opts, spans[i])
 	})
 	return res
 }
@@ -287,17 +291,34 @@ func Run(profiles []gen.PortalProfile, opts Options) *StudyResult {
 // RunPortal executes every analysis over one corpus. The four sections
 // are mutually independent given their own rng streams (see the
 // section salts above), so they overlap when opts.Workers allows.
-func RunPortal(corpus *gen.Corpus, opts Options) PortalResult {
+//
+// Any corpus.Source works: generated corpora additionally provide the
+// §5.3 labeling oracle and the funnel's servable portal, which core
+// discovers by type assertion; a corpus without them still runs every
+// structural analysis (labels default to zero, the funnel is skipped).
+func RunPortal(src corpus.Source, opts Options) PortalResult {
 	opts = opts.withDefaults()
-	return runPortal(corpus, opts, opts.Trace.Child("portal:"+corpus.PortalName))
+	return runPortal(src, opts, opts.Trace.Child("portal:"+src.PortalID()))
 }
 
-func runPortal(corpus *gen.Corpus, opts Options, span *obs.Span) PortalResult {
-	pr := PortalResult{Portal: corpus.PortalName, Corpus: corpus}
+// servablePortal is the optional capability behind the Table 1 funnel:
+// a corpus that can serialize itself into a CKAN portal (with its
+// profile's broken-resource rates) gets measured over live HTTP.
+type servablePortal interface {
+	ServablePortal(seed int64) *ckan.Portal
+}
 
-	tables := corpus.Tables()
+func runPortal(src corpus.Source, opts Options, span *obs.Span) PortalResult {
+	pr := PortalResult{Portal: src.PortalID(), Corpus: src}
+
+	metas := src.TableMetas()
+	datasets := src.DatasetMetas()
+	tables := make([]*table.Table, len(metas))
+	for i, m := range metas {
+		tables[i] = m.Table
+	}
 	span.AddTasks(len(tables))
-	recordCorpusMetrics(corpus, opts.Metrics)
+	recordCorpusMetrics(pr.Portal, metas, datasets, opts.Metrics)
 
 	// Profile every table up front, fanning out per table: this is the
 	// bulk of §3's CPU, and it leaves the sections below reading an
@@ -311,8 +332,16 @@ func runPortal(corpus *gen.Corpus, opts Options, span *obs.Span) PortalResult {
 		}
 	})
 	cacheSpan.End()
-	fdTables := fdSubset(corpus, opts.MaxFDTables)
-	oracle := gen.Truth(corpus)
+	fdTables := fdSubset(metas, opts.MaxFDTables)
+	// The labeling oracle is a capability of generated corpora; other
+	// sources run unlabeled (classify treats a nil oracle as "no
+	// annotation available").
+	var joinOracle classify.JoinOracle
+	var unionOracle classify.UnionOracle
+	if gc, ok := src.(*gen.Corpus); ok {
+		o := gen.Truth(gc)
+		joinOracle, unionOracle = o, o
+	}
 
 	// Section spans are created sequentially here — before the section
 	// fan-out — so the rendered tree is identical for every worker
@@ -321,22 +350,22 @@ func runPortal(corpus *gen.Corpus, opts Options, span *obs.Span) PortalResult {
 	secKeys := span.Child("keys+fd")
 	secJoin := span.Child("join")
 	secUnion := span.Child("union")
-	portalLabels := []string{"portal", corpus.PortalName}
+	portalLabels := []string{"portal", pr.Portal}
 	counter := func(name, help string, n int) {
 		opts.Metrics.Counter(name, help, portalLabels...).Add(int64(n))
 	}
 
 	sections := []func(){
 		func() { // ---- profiling (§3) ----
-			pc := profileCorpus(corpus)
+			pc := profileCorpus(pr.Portal, metas)
 			if opts.FetchFunnel {
-				pc.Funnel = measureFunnel(corpus, opts, secProfile.Child("funnel"))
+				pc.Funnel = measureFunnel(src, pr.Portal, opts, secProfile.Child("funnel"))
 			}
 			pr.Sizes = profile.Sizes(pc, opts.Compress)
 			pr.SizePercentiles = profile.SizePercentiles(pc, []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
 			pr.Growth = profile.Growth(pc)
 			pr.TableSizes = profile.TableSizes(pc)
-			pr.ColsHist, pr.RowsHist = sizeHistograms(corpus)
+			pr.ColsHist, pr.RowsHist = sizeHistograms(metas)
 			pr.Nulls = profile.Nulls(pc)
 			pr.Metadata = profile.Metadata(pc, 100)
 			pr.Uniqueness = profile.Uniqueness(pc)
@@ -369,7 +398,7 @@ func runPortal(corpus *gen.Corpus, opts Options, span *obs.Span) PortalResult {
 			}
 
 			rng := rand.New(rand.NewSource(sectionSeed(opts.Seed, seedSaltJoinSample)))
-			samples := classify.SampleJoinPairs(tables, ja.Pairs, oracle,
+			samples := classify.SampleJoinPairs(tables, ja.Pairs, joinOracle,
 				classify.SampleOptions{PerCell: opts.SamplePerCell}, rng)
 			pr.Labels = labelResults(tables, samples)
 			secJoin.AddItems(len(ja.Pairs))
@@ -377,10 +406,10 @@ func runPortal(corpus *gen.Corpus, opts Options, span *obs.Span) PortalResult {
 		},
 		func() { // ---- unionability (§6) ----
 			ua := union.Find(tables)
-			pr.Union = unionStats(corpus, ua)
+			pr.Union = unionStats(len(metas), ua)
 			counter("ogdp_union_groups_total", "Unionable schema groups found.", len(ua.Groups))
 			rng := rand.New(rand.NewSource(sectionSeed(opts.Seed, seedSaltUnionSample)))
-			unionSamples := classify.SampleUnionPairs(ua, oracle, opts.UnionSamples, rng)
+			unionSamples := classify.SampleUnionPairs(ua, unionOracle, opts.UnionSamples, rng)
 			pr.UnionLabels = classify.UnionLabelDist(unionSamples)
 			secUnion.AddItems(len(ua.Groups))
 			secUnion.End()
@@ -389,7 +418,7 @@ func runPortal(corpus *gen.Corpus, opts Options, span *obs.Span) PortalResult {
 	parallel.ForEach(context.Background(), len(sections), opts.Workers, func(i int) { sections[i]() })
 
 	if opts.Extensions {
-		ext := extensionStats(corpus, tables, fdTables)
+		ext := extensionStats(src, tables, fdTables)
 		ext.ExactUnionTables = pr.Union.UnionableTables
 		pr.Ext = &ext
 	}
@@ -400,45 +429,51 @@ func runPortal(corpus *gen.Corpus, opts Options, span *obs.Span) PortalResult {
 
 // recordCorpusMetrics publishes the corpus shape — table/dataset
 // counts and the row/column/byte distributions — for one portal. All
-// values derive from the generated corpus, so they are identical for
+// values derive from the corpus itself, so they are identical for
 // every worker count.
-func recordCorpusMetrics(corpus *gen.Corpus, r *obs.Registry) {
+func recordCorpusMetrics(portal string, metas []corpus.TableMeta, datasets []corpus.Dataset, r *obs.Registry) {
 	if r == nil {
 		return
 	}
-	ls := []string{"portal", corpus.PortalName}
-	r.Counter("ogdp_tables_total", "Tables in the analyzed corpus.", ls...).Add(int64(len(corpus.Metas)))
-	r.Gauge("ogdp_corpus_datasets", "Datasets in the analyzed corpus.", ls...).Set(float64(len(corpus.Datasets)))
+	ls := []string{"portal", portal}
+	r.Counter("ogdp_tables_total", "Tables in the analyzed corpus.", ls...).Add(int64(len(metas)))
+	r.Gauge("ogdp_corpus_datasets", "Datasets in the analyzed corpus.", ls...).Set(float64(len(datasets)))
 	rows := r.Histogram("ogdp_table_rows", "Row count per corpus table.", obs.CountBuckets, ls...)
 	cols := r.Histogram("ogdp_table_cols", "Column count per corpus table.", obs.CountBuckets, ls...)
 	bytes := r.Histogram("ogdp_table_bytes", "Serialized CSV size per corpus table, in bytes.", obs.SizeBuckets, ls...)
 	cells := r.Counter("ogdp_cells_total", "Cells (rows x columns) across the corpus.", ls...)
-	for _, m := range corpus.Metas {
+	padded := r.Counter("ogdp_cells_padded_total", "Cells synthesized by padding short CSV rows to the table width.", ls...)
+	truncated := r.Counter("ogdp_cells_truncated_total", "Cells dropped by truncating long CSV rows to the table width.", ls...)
+	for _, m := range metas {
 		rows.Observe(float64(m.Table.NumRows()))
 		cols.Observe(float64(m.Table.NumCols()))
 		bytes.Observe(float64(m.RawSize))
 		cells.Add(int64(m.Table.NumRows()) * int64(m.Table.NumCols()))
+		padded.Add(int64(m.Table.Ragged.Padded))
+		truncated.Add(int64(m.Table.Ragged.Truncated))
 	}
 }
 
-// extensionStats runs the beyond-the-paper analyses.
-func extensionStats(corpus *gen.Corpus, tables []*table.Table, fdTables []*table.Table) ExtensionStats {
+// extensionStats runs the beyond-the-paper analyses. The planted-FK
+// recovery rate needs generation provenance, so it is computed only
+// when the source is a *gen.Corpus; everything else is structural.
+func extensionStats(src corpus.Source, tables []*table.Table, fdTables []*table.Table) ExtensionStats {
 	var ext ExtensionStats
 
 	inds := ind.Find(tables, ind.Options{})
 	ext.INDs = len(inds)
 	fks := ind.ForeignKeyCandidates(tables, inds)
 	ext.ForeignKeyCandidates = len(fks)
-	planted := 0
-	for _, d := range fks {
-		m1 := corpus.Metas[d.DepTable]
-		m2 := corpus.Metas[d.RefTable]
-		if m1.Cols[d.DepCol].Role == gen.RoleForeignKey && m2.Cols[d.RefCol].Role == gen.RoleEntityKey &&
-			m1.Cols[d.DepCol].Pool == m2.Cols[d.RefCol].Pool {
-			planted++
+	if gc, ok := src.(*gen.Corpus); ok && len(fks) > 0 {
+		planted := 0
+		for _, d := range fks {
+			m1 := gc.Metas[d.DepTable]
+			m2 := gc.Metas[d.RefTable]
+			if m1.Cols[d.DepCol].Role == gen.RoleForeignKey && m2.Cols[d.RefCol].Role == gen.RoleEntityKey &&
+				m1.Cols[d.DepCol].Pool == m2.Cols[d.RefCol].Pool {
+				planted++
+			}
 		}
-	}
-	if len(fks) > 0 {
 		ext.PlantedFKRecovered = float64(planted) / float64(len(fks))
 	}
 
@@ -470,20 +505,16 @@ func extensionStats(corpus *gen.Corpus, tables []*table.Table, fdTables []*table
 	return ext
 }
 
-func profileCorpus(c *gen.Corpus) *profile.Corpus {
-	pc := &profile.Corpus{Portal: c.PortalName}
-	metaStyle := make(map[string]int, len(c.Datasets))
-	for _, d := range c.Datasets {
-		metaStyle[d.ID] = d.Metadata
-	}
-	pc.Tables = make([]profile.TableInfo, 0, len(c.Metas))
-	for _, m := range c.Metas {
+func profileCorpus(portal string, metas []corpus.TableMeta) *profile.Corpus {
+	pc := &profile.Corpus{Portal: portal}
+	pc.Tables = make([]profile.TableInfo, 0, len(metas))
+	for _, m := range metas {
 		pc.Tables = append(pc.Tables, profile.TableInfo{
 			Table:     m.Table,
-			DatasetID: m.Dataset,
+			DatasetID: m.DatasetID,
 			Published: m.Published,
 			RawSize:   m.RawSize,
-			Metadata:  metaStyle[m.Dataset],
+			Metadata:  m.Metadata,
 		})
 	}
 	return pc
@@ -493,16 +524,22 @@ func profileCorpus(c *gen.Corpus) *profile.Corpus {
 // the acquisition pipeline against it. The fetch client shares the
 // study's worker bound and is deterministic for every value of it;
 // its metrics land in the study registry under the portal label, and
-// its stage spans under the given span.
-func measureFunnel(corpus *gen.Corpus, opts Options, span *obs.Span) profile.FunnelCounts {
-	portal := gen.BuildPortal(corpus, opts.Seed)
+// its stage spans under the given span. Sources without the
+// servablePortal capability skip the measurement.
+func measureFunnel(src corpus.Source, portalName string, opts Options, span *obs.Span) profile.FunnelCounts {
+	sp, ok := src.(servablePortal)
+	if !ok {
+		span.End()
+		return profile.FunnelCounts{}
+	}
+	portal := sp.ServablePortal(opts.Seed)
 	srv := httptest.NewServer(ckan.NewServer(portal))
 	defer srv.Close()
 	client := ckan.NewClient(srv.URL)
 	client.Workers = opts.Workers
 	client.Seed = opts.Seed
 	client.Metrics = opts.Metrics
-	client.MetricLabels = []string{"portal", corpus.PortalName}
+	client.MetricLabels = []string{"portal", portalName}
 	client.Trace = span
 	client.Now = opts.Clock
 	_, st, err := client.FetchAll()
@@ -518,9 +555,9 @@ func measureFunnel(corpus *gen.Corpus, opts Options, span *obs.Span) profile.Fun
 	}
 }
 
-func sizeHistograms(c *gen.Corpus) (cols, rows []stats.Bucket) {
+func sizeHistograms(metas []corpus.TableMeta) (cols, rows []stats.Bucket) {
 	var colCounts, rowCounts []float64
-	for _, m := range c.Metas {
+	for _, m := range metas {
 		colCounts = append(colCounts, float64(m.Table.NumCols()))
 		rowCounts = append(rowCounts, float64(m.Table.NumRows()))
 	}
@@ -531,9 +568,9 @@ func sizeHistograms(c *gen.Corpus) (cols, rows []stats.Bucket) {
 
 // fdSubset selects the paper's FD-analysis subset: 10 ≤ rows ≤ 10000
 // and 5 ≤ cols ≤ 20.
-func fdSubset(c *gen.Corpus, max int) []*table.Table {
+func fdSubset(metas []corpus.TableMeta, max int) []*table.Table {
 	var out []*table.Table
-	for _, m := range c.Metas {
+	for _, m := range metas {
 		t := m.Table
 		if t.NumRows() < 10 || t.NumRows() > 10000 {
 			continue
@@ -718,9 +755,9 @@ func labelResults(tables []*table.Table, samples []classify.SampledPair) LabelRe
 	return lr
 }
 
-func unionStats(corpus *gen.Corpus, ua *union.Analysis) UnionStats {
+func unionStats(nTables int, ua *union.Analysis) UnionStats {
 	st := UnionStats{
-		Tables:              len(corpus.Metas),
+		Tables:              nTables,
 		UnionableTables:     ua.UnionableTables(),
 		UniqueSchemas:       ua.UniqueSchemas,
 		UnionableSchemas:    len(ua.Groups),

@@ -127,6 +127,11 @@ func ReadWith(name string, r io.Reader, opts Options) (*table.Table, error) {
 		t.Data[c] = make([]string, 0, len(records)-headerIdx-1)
 	}
 	for r := headerIdx + 1; r < len(records); r++ {
+		if d := len(records[r]) - width; d > 0 {
+			t.Ragged.Truncated += d
+		} else if d < 0 {
+			t.Ragged.Padded -= d
+		}
 		row := normalizeRow(records[r], width)
 		for c := 0; c < width; c++ {
 			t.Data[c] = append(t.Data[c], row[c])

@@ -19,18 +19,39 @@ type Dictionary struct {
 	// Format names the winning parser: "csv", "html", "bullets",
 	// "lines", or "" when nothing parsed.
 	Format string
+
+	// byCanon indexes Entries by canonical column name (first entry
+	// wins). Extract builds it; literal-constructed dictionaries leave
+	// it nil and Lookup falls back to a scan, which keeps concurrent
+	// lookups safe on a shared Dictionary.
+	byCanon map[string]int
 }
 
 // Lookup returns the description for a column name
 // (case-insensitively), or ok=false.
 func (d *Dictionary) Lookup(column string) (string, bool) {
 	needle := canonical(column)
+	if d.byCanon != nil {
+		if i, ok := d.byCanon[needle]; ok {
+			return d.Entries[i].Description, true
+		}
+		return "", false
+	}
 	for _, e := range d.Entries {
 		if canonical(e.Column) == needle {
 			return e.Description, true
 		}
 	}
 	return "", false
+}
+
+// index builds the canonical-name index; the earliest entry for a
+// name wins, matching the scan order of Lookup's fallback.
+func (d *Dictionary) index() {
+	d.byCanon = make(map[string]int, len(d.Entries))
+	for i := len(d.Entries) - 1; i >= 0; i-- {
+		d.byCanon[canonical(d.Entries[i].Column)] = i
+	}
 }
 
 func canonical(s string) string {
@@ -55,6 +76,7 @@ func Extract(doc string) *Dictionary {
 			best = &Dictionary{Entries: entries, Format: p.name}
 		}
 	}
+	best.index()
 	return best
 }
 

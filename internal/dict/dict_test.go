@@ -122,6 +122,43 @@ func TestLookupMiss(t *testing.T) {
 	}
 }
 
+// TestLookupIndexMatchesScan pins the indexed Lookup (built by
+// Extract) to the literal-construction scan fallback: same
+// case-insensitive matching, same first-entry-wins duplicate rule.
+func TestLookupIndexMatchesScan(t *testing.T) {
+	entries := []Entry{
+		{Column: " ID ", Description: "first id"},
+		{Column: "id", Description: "duplicate id"},
+		{Column: "City", Description: "city name"},
+	}
+	indexed := &Dictionary{Entries: entries}
+	indexed.index()
+	scan := &Dictionary{Entries: entries}
+	for _, col := range []string{"id", "ID", " id", "city", "CITY", "missing"} {
+		di, oki := indexed.Lookup(col)
+		ds, oks := scan.Lookup(col)
+		if di != ds || oki != oks {
+			t.Errorf("Lookup(%q): indexed = %q,%v scan = %q,%v", col, di, oki, ds, oks)
+		}
+	}
+	if desc, _ := indexed.Lookup("id"); desc != "first id" {
+		t.Errorf("duplicate rule broken: %q", desc)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	var entries []Entry
+	for i := 0; i < 200; i++ {
+		entries = append(entries, Entry{Column: "col_" + string(rune('a'+i%26)) + string(rune('0'+i/26)), Description: "d"})
+	}
+	d := &Dictionary{Entries: entries}
+	d.index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(entries[i%len(entries)].Column)
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

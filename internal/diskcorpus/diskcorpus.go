@@ -8,8 +8,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"ogdp/internal/corpus"
 	"ogdp/internal/csvio"
+	"ogdp/internal/gen"
 	"ogdp/internal/sniff"
 	"ogdp/internal/table"
 )
@@ -20,6 +23,12 @@ type Corpus struct {
 	Dir string
 	// Tables are the readable tables, sorted by file name.
 	Tables []*table.Table
+	// Metas carries per-table corpus facts (dataset attribution,
+	// publication date, raw size), parallel to Tables.
+	Metas []corpus.TableMeta
+	// Datasets are the dataset records from the manifest (nil without
+	// one).
+	Datasets []corpus.Dataset
 	// Skipped counts files that failed sniffing or parsing.
 	Skipped int
 	// SkippedWide counts files rejected by the wide-table cutoff.
@@ -27,6 +36,15 @@ type Corpus struct {
 	// Manifest reports whether a datasets.json manifest was found.
 	Manifest bool
 }
+
+// PortalID implements corpus.Source: the directory base name.
+func (c *Corpus) PortalID() string { return filepath.Base(c.Dir) }
+
+// TableMetas implements corpus.Source.
+func (c *Corpus) TableMetas() []corpus.TableMeta { return c.Metas }
+
+// DatasetMetas implements corpus.Source.
+func (c *Corpus) DatasetMetas() []corpus.Dataset { return c.Datasets }
 
 // ByName returns the index of the table with the given file name, or
 // -1.
@@ -70,9 +88,22 @@ func Load(dir string) (*Corpus, error) {
 			continue
 		}
 		c.Tables = append(c.Tables, t)
+		c.Metas = append(c.Metas, corpus.TableMeta{Table: t, RawSize: int64(len(body))})
 	}
-	c.Manifest = attachManifest(dir, c.Tables)
+	c.attachManifest()
 	return c, nil
+}
+
+// LoadStudy loads dir as a study-ready corpus source: a directory
+// written by ogdpgen/gen.SaveCorpus (recognized by its
+// provenance.json) comes back as a full *gen.Corpus — provenance
+// oracle and servable funnel portal included — while any other
+// directory of CSVs loads through the generic pipeline above.
+func LoadStudy(dir string) (corpus.Source, error) {
+	if _, err := os.Stat(filepath.Join(dir, gen.ProvenanceFile)); err == nil {
+		return gen.LoadCorpus(dir)
+	}
+	return Load(dir)
 }
 
 // parse runs the sniff/read pipeline; wide reports a wide-table
@@ -99,30 +130,58 @@ func parse(name string, body []byte) (t *table.Table, wide bool) {
 	return parsed, false
 }
 
-// manifestDataset mirrors the ogdpgen manifest entry.
+// manifestDataset mirrors the ogdpgen manifest entry; minimal
+// hand-written manifests (id + tables only) parse too.
 type manifestDataset struct {
-	ID     string   `json:"id"`
-	Tables []string `json:"tables"`
+	ID        string    `json:"id"`
+	Title     string    `json:"title"`
+	Category  string    `json:"category"`
+	Published time.Time `json:"published"`
+	Metadata  string    `json:"metadata_style"`
+	Tables    []string  `json:"tables"`
 }
 
-// attachManifest assigns DatasetIDs from datasets.json when present.
-func attachManifest(dir string, tables []*table.Table) bool {
-	data, err := os.ReadFile(filepath.Join(dir, "datasets.json"))
+// metadataStyles maps the manifest's style spellings back to
+// ckan.MetadataStyle values; unknown spellings mean "lacking".
+var metadataStyles = map[string]int{
+	"lacking": 0, "structured": 1, "unstructured": 2, "outside": 3,
+}
+
+// attachManifest folds datasets.json (when present) into the loaded
+// tables: dataset attribution, publication dates, and metadata
+// styles.
+func (c *Corpus) attachManifest() {
+	data, err := os.ReadFile(filepath.Join(c.Dir, "datasets.json"))
 	if err != nil {
-		return false
+		return
 	}
 	var manifest []manifestDataset
 	if err := json.Unmarshal(data, &manifest); err != nil {
-		return false
+		return
 	}
-	byName := map[string]string{}
-	for _, d := range manifest {
+	c.Manifest = true
+	byName := map[string]*manifestDataset{}
+	for i := range manifest {
+		d := &manifest[i]
+		c.Datasets = append(c.Datasets, corpus.Dataset{
+			ID:        d.ID,
+			Title:     d.Title,
+			Category:  d.Category,
+			Published: d.Published,
+			Metadata:  metadataStyles[d.Metadata],
+		})
 		for _, t := range d.Tables {
-			byName[t] = d.ID
+			byName[t] = d
 		}
 	}
-	for _, t := range tables {
-		t.DatasetID = byName[t.Name]
+	for i, t := range c.Tables {
+		d, ok := byName[t.Name]
+		if !ok {
+			continue
+		}
+		t.DatasetID = d.ID
+		c.Metas[i].DatasetID = d.ID
+		c.Metas[i].Published = d.Published
+		c.Metas[i].Metadata = metadataStyles[d.Metadata]
 	}
-	return true
 }

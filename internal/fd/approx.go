@@ -83,17 +83,17 @@ func (e *engine) g3Error(x attrset, a int) float64 {
 	cols := x.members(e.nCols)
 	type groupKey = uint64
 	// group hash -> (a-code -> count)
-	groups := make(map[groupKey]map[int32]int, 256)
+	groups := make(map[groupKey]map[uint32]int, 256)
 	const prime64 = 1099511628211
 	for r := 0; r < e.nRows; r++ {
 		var h uint64 = 14695981039346656037
 		for _, c := range cols {
-			h ^= uint64(uint32(e.codes[c][r]))
+			h ^= uint64(e.codes[c][r])
 			h *= prime64
 		}
 		m := groups[h]
 		if m == nil {
-			m = make(map[int32]int, 4)
+			m = make(map[uint32]int, 4)
 			groups[h] = m
 		}
 		m[e.codes[a][r]]++

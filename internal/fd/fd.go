@@ -20,7 +20,6 @@ import (
 	"strings"
 
 	"ogdp/internal/table"
-	"ogdp/internal/values"
 )
 
 // MaxLHS is the paper's bound on the left-hand-side size.
@@ -90,40 +89,30 @@ func setOf(attrs []int) attrset {
 	return s
 }
 
-// engine holds the dictionary-encoded table and the cardinality cache.
+// engine runs the lattice search over the table's shared canonical
+// code streams (table.CanonCodes): per column, every null spelling is
+// code 0 and distinct non-null values are dense codes. The encoding is
+// built once per table and shared with every other analysis layer, so
+// constructing an engine allocates nothing beyond the caches below.
 type engine struct {
-	nRows int
-	nCols int
-	codes [][]int32 // codes[c][r]: dictionary code of cell (c, r); nulls share one code
-	cards map[attrset]int
+	nRows     int
+	nCols     int
+	codes     [][]uint32 // codes[c]: canonical code stream of column c
+	codeSizes []int      // code-space size per column (distinct incl. the null code)
+	cards     map[attrset]int
+	scratch   map[uint64]struct{} // reused across card computations
 }
 
 func newEngine(t *table.Table) *engine {
 	e := &engine{
-		nRows: t.NumRows(),
-		nCols: t.NumCols(),
-		codes: make([][]int32, t.NumCols()),
-		cards: make(map[attrset]int),
+		nRows:     t.NumRows(),
+		nCols:     t.NumCols(),
+		codes:     make([][]uint32, t.NumCols()),
+		codeSizes: make([]int, t.NumCols()),
+		cards:     make(map[attrset]int),
 	}
 	for c := 0; c < e.nCols; c++ {
-		col := t.Column(c)
-		codes := make([]int32, e.nRows)
-		dict := make(map[string]int32, 64)
-		var next int32 = 1 // 0 is the shared null code
-		for r, v := range col {
-			if values.IsNull(v) {
-				codes[r] = 0
-				continue
-			}
-			id, ok := dict[v]
-			if !ok {
-				id = next
-				next++
-				dict[v] = id
-			}
-			codes[r] = id
-		}
-		e.codes[c] = codes
+		e.codes[c], e.codeSizes[c] = t.CanonCodes(c)
 	}
 	return e
 }
@@ -143,19 +132,30 @@ func (e *engine) card(s attrset) int {
 	cols := s.members(e.nCols)
 	var n int
 	if len(cols) == 1 {
-		seen := make(map[int32]struct{}, 256)
-		for _, code := range e.codes[cols[0]] {
-			seen[code] = struct{}{}
+		// Single columns read straight off the encoding: the canon code
+		// space is dense, so the distinct count is its size, minus the
+		// null bucket when no row uses it.
+		c := cols[0]
+		n = e.codeSizes[c] - 1
+		for _, code := range e.codes[c] {
+			if code == 0 { // a null row: the null bucket is populated
+				n++
+				break
+			}
 		}
-		n = len(seen)
 	} else {
-		const prime64 = 1099511628211
-		seen := make(map[uint64]struct{}, e.nRows)
+		if e.scratch == nil {
+			e.scratch = make(map[uint64]struct{}, e.nRows)
+		}
+		seen := e.scratch
+		for k := range seen {
+			delete(seen, k)
+		}
 		for r := 0; r < e.nRows; r++ {
 			var h uint64 = 14695981039346656037
 			for _, c := range cols {
-				h ^= uint64(uint32(e.codes[c][r]))
-				h *= prime64
+				h ^= uint64(e.codes[c][r])
+				h *= 1099511628211
 			}
 			seen[h] = struct{}{}
 		}
@@ -347,36 +347,32 @@ func SimpleFDs(fds []FD) []FD {
 }
 
 // Holds verifies an FD directly against the table, treating all null
-// spellings as one value. Intended for tests and spot checks.
+// spellings as one value (the canonical-code convention). Intended for
+// tests and spot checks.
 func Holds(t *table.Table, f FD) bool {
-	if t.NumRows() == 0 {
+	n := t.NumRows()
+	if n == 0 {
 		return true
 	}
-	type rhsSeen struct {
-		val string
-		set bool
+	lhs := make([][]uint32, len(f.LHS))
+	for i, c := range f.LHS {
+		lhs[i], _ = t.CanonCodes(c)
 	}
-	canon := func(v string) string {
-		if values.IsNull(v) {
-			return "\x00null"
+	rhs, _ := t.CanonCodes(f.RHS)
+	seen := make(map[string]uint32)
+	var key []byte
+	for r := 0; r < n; r++ {
+		key = key[:0]
+		for _, col := range lhs {
+			v := col[r]
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 		}
-		return v
-	}
-	seen := make(map[string]*rhsSeen)
-	for r := 0; r < t.NumRows(); r++ {
-		var key strings.Builder
-		for _, c := range f.LHS {
-			key.WriteString(canon(t.Data[c][r]))
-			key.WriteByte(0x1f)
-		}
-		k := key.String()
-		rv := canon(t.Data[f.RHS][r])
-		if prev, ok := seen[k]; ok {
-			if prev.val != rv {
+		if prev, ok := seen[string(key)]; ok {
+			if prev != rhs[r] {
 				return false
 			}
 		} else {
-			seen[k] = &rhsSeen{val: rv, set: true}
+			seen[string(key)] = rhs[r]
 		}
 	}
 	return true

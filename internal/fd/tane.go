@@ -195,11 +195,11 @@ type partition struct {
 	errSum  int
 }
 
-func singletonPartition(codes []int32, nRows int) *partition {
+func singletonPartition(codes []uint32, nRows int) *partition {
 	// Group rows in first-seen order rather than by ranging over a
 	// map, so the class list is identical on every run (map iteration
 	// order is randomized and would reorder classes).
-	idx := make(map[int32]int32, 64)
+	idx := make(map[uint32]int32, 64)
 	var groups [][]int32
 	for r := 0; r < nRows; r++ {
 		g, ok := idx[codes[r]]

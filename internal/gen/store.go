@@ -1,0 +1,238 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ogdp/internal/ckan"
+	"ogdp/internal/csvio"
+	"ogdp/internal/table"
+)
+
+// On-disk corpus layout: one CSV file per table, a datasets.json
+// manifest (dataset ids, titles, publication dates, metadata styles —
+// enough for the generic diskcorpus loader), and a provenance.json
+// recording the full generation provenance (styles, topics, column
+// roles, entity pools). LoadCorpus reconstructs a *Corpus from the
+// provenance that is analysis-equivalent to the generated original:
+// running the study over it yields the identical PortalResult.
+const (
+	// ManifestFile is the generic dataset manifest read by diskcorpus.
+	ManifestFile = "datasets.json"
+	// ProvenanceFile is the full-provenance manifest read by LoadCorpus.
+	ProvenanceFile = "provenance.json"
+)
+
+// ManifestDataset is one datasets.json entry.
+type ManifestDataset struct {
+	ID        string    `json:"id"`
+	Title     string    `json:"title"`
+	Category  string    `json:"category"`
+	Published time.Time `json:"published"`
+	Metadata  string    `json:"metadata_style"`
+	Tables    []string  `json:"tables"`
+}
+
+// provCorpus is the provenance.json schema.
+type provCorpus struct {
+	Portal   string        `json:"portal"`
+	Profile  string        `json:"profile"`
+	Datasets []provDataset `json:"datasets"`
+	Tables   []provTable   `json:"tables"`
+}
+
+type provDataset struct {
+	ID        string    `json:"id"`
+	Title     string    `json:"title"`
+	Category  string    `json:"category"`
+	Published time.Time `json:"published"`
+	Metadata  int       `json:"metadata_style"`
+}
+
+type provTable struct {
+	File         string    `json:"file"`
+	Dataset      string    `json:"dataset"`
+	DatasetTitle string    `json:"dataset_title"`
+	Topic        string    `json:"topic"`
+	Category     string    `json:"category"`
+	Style        int       `json:"style"`
+	EventClass   string    `json:"event_class,omitempty"`
+	DuplicateOf  string    `json:"duplicate_of,omitempty"`
+	Published    time.Time `json:"published"`
+	RawSize      int64     `json:"raw_size"`
+	Cols         []provCol `json:"cols"`
+}
+
+type provCol struct {
+	Name string `json:"name"`
+	Role int    `json:"role"`
+	Pool string `json:"pool,omitempty"`
+}
+
+// SaveStats summarizes what SaveCorpus wrote.
+type SaveStats struct {
+	Datasets int
+	Tables   int
+	Bytes    int64
+}
+
+// SaveCorpus writes a corpus to dir: one CSV per table plus the
+// datasets.json and provenance.json manifests. The directory is
+// created if needed.
+func SaveCorpus(dir string, c *Corpus) (SaveStats, error) {
+	var st SaveStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return st, err
+	}
+
+	byDataset := map[string][]string{}
+	prov := provCorpus{Portal: c.PortalName, Profile: c.Profile.Name}
+	for _, m := range c.Metas {
+		if err := os.WriteFile(filepath.Join(dir, m.Table.Name), csvio.Bytes(m.Table), 0o644); err != nil {
+			return st, err
+		}
+		byDataset[m.Dataset] = append(byDataset[m.Dataset], m.Table.Name)
+		st.Tables++
+		st.Bytes += m.RawSize
+
+		pt := provTable{
+			File:         m.Table.Name,
+			Dataset:      m.Dataset,
+			DatasetTitle: m.DatasetTitle,
+			Topic:        m.Topic,
+			Category:     m.Category,
+			Style:        int(m.Style),
+			EventClass:   m.EventClass,
+			DuplicateOf:  m.DuplicateOf,
+			Published:    m.Published,
+			RawSize:      m.RawSize,
+		}
+		for _, ci := range m.Cols {
+			pt.Cols = append(pt.Cols, provCol{Name: ci.Name, Role: int(ci.Role), Pool: ci.Pool})
+		}
+		prov.Tables = append(prov.Tables, pt)
+	}
+
+	manifest := make([]ManifestDataset, 0, len(c.Datasets))
+	for _, d := range c.Datasets {
+		manifest = append(manifest, ManifestDataset{
+			ID:        d.ID,
+			Title:     d.Title,
+			Category:  d.Category,
+			Published: d.Published,
+			Metadata:  ckan.MetadataStyle(d.Metadata).String(),
+			Tables:    byDataset[d.ID],
+		})
+		prov.Datasets = append(prov.Datasets, provDataset{
+			ID:        d.ID,
+			Title:     d.Title,
+			Category:  d.Category,
+			Published: d.Published,
+			Metadata:  d.Metadata,
+		})
+	}
+	st.Datasets = len(manifest)
+
+	if err := writeJSON(filepath.Join(dir, ManifestFile), manifest); err != nil {
+		return st, err
+	}
+	if err := writeJSON(filepath.Join(dir, ProvenanceFile), prov); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCorpus reads a corpus saved by SaveCorpus back from dir,
+// reconstructing the full generation provenance from provenance.json.
+// Tables are reparsed with the cleaning pipeline disabled
+// (KeepEmptyTrailingColumns, no wide-table cutoff) so the cells
+// roundtrip exactly; the result is analysis-equivalent to the corpus
+// that was saved.
+func LoadCorpus(dir string) (*Corpus, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ProvenanceFile))
+	if err != nil {
+		return nil, fmt.Errorf("gen: loading corpus: %w", err)
+	}
+	var prov provCorpus
+	if err := json.Unmarshal(data, &prov); err != nil {
+		return nil, fmt.Errorf("gen: parsing %s: %w", ProvenanceFile, err)
+	}
+
+	c := &Corpus{PortalName: prov.Portal}
+	if p, ok := ProfileByName(prov.Profile); ok {
+		c.Profile = p
+	}
+	for _, d := range prov.Datasets {
+		c.Datasets = append(c.Datasets, DatasetMeta{
+			ID:        d.ID,
+			Title:     d.Title,
+			Category:  d.Category,
+			Published: d.Published,
+			Metadata:  d.Metadata,
+		})
+	}
+	for _, pt := range prov.Tables {
+		t, err := loadTable(dir, pt.File)
+		if err != nil {
+			return nil, err
+		}
+		t.DatasetID = pt.Dataset
+		if got, want := t.NumCols(), len(pt.Cols); got != want {
+			return nil, fmt.Errorf("gen: %s: %d columns on disk, %d in provenance", pt.File, got, want)
+		}
+		m := &TableMeta{
+			Table:        t,
+			Dataset:      pt.Dataset,
+			DatasetTitle: pt.DatasetTitle,
+			Topic:        pt.Topic,
+			Category:     pt.Category,
+			Style:        TableStyle(pt.Style),
+			EventClass:   pt.EventClass,
+			DuplicateOf:  pt.DuplicateOf,
+			Published:    pt.Published,
+			RawSize:      pt.RawSize,
+		}
+		for _, pc := range pt.Cols {
+			m.Cols = append(m.Cols, ColumnInfo{Name: pc.Name, Role: ColumnRole(pc.Role), Pool: pc.Pool})
+		}
+		c.Metas = append(c.Metas, m)
+	}
+	return c, nil
+}
+
+// loadTable reparses one saved table without the cleaning pipeline:
+// the file was written by csvio.Write from an already-clean table, so
+// header inference must not rename columns, drop all-null trailing
+// columns, or reject wide tables.
+func loadTable(dir, file string) (*table.Table, error) {
+	body, err := os.ReadFile(filepath.Join(dir, file))
+	if err != nil {
+		return nil, fmt.Errorf("gen: loading corpus table: %w", err)
+	}
+	t, err := csvio.ReadWith(file, strings.NewReader(string(body)), csvio.Options{
+		KeepEmptyTrailingColumns: true,
+		MaxColumns:               -1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gen: parsing %s: %w", file, err)
+	}
+	return t, nil
+}

@@ -63,7 +63,7 @@ func Find(tables []*table.Table, opts Options) []IND {
 			id := int32(len(cols))
 			cols = append(cols, colRef{ti, ci})
 			profiles = append(profiles, p)
-			for h := range p.Counts {
+			for _, h := range p.ValueHashes() {
 				postings[h] = append(postings[h], id)
 			}
 		}
@@ -77,7 +77,7 @@ func Find(tables []*table.Table, opts Options) []IND {
 		}
 		// Count how many of dep's distinct values each candidate holds.
 		counts := map[int32]int{}
-		for h := range p.Counts {
+		for _, h := range p.ValueHashes() {
 			for _, id := range postings[h] {
 				if int(id) == depID || cols[id].t == dep.t {
 					continue

@@ -250,7 +250,9 @@ func makePair(tables []*table.Table, cols []column, i, j int, jv float64) Pair {
 // collectColumns indexes every eligible column of the corpus, fanning
 // out per table (each table's profile cache is then touched by exactly
 // one goroutine). Concatenating the per-table slices in table order
-// keeps the column numbering identical to a sequential scan.
+// keeps the column numbering identical to a sequential scan. The hash
+// sets are the profiles' cached, already-sorted value-hash arrays, so
+// collection allocates nothing per column beyond the index entries.
 func collectColumns(tables []*table.Table, minUnique, workers int) []column {
 	perTable, _ := parallel.Map(context.Background(), len(tables), workers, func(ti int) []column {
 		t := tables[ti]
@@ -263,12 +265,7 @@ func collectColumns(tables []*table.Table, minUnique, workers int) []column {
 			if p.Distinct == 0 {
 				continue
 			}
-			hashes := make([]uint64, 0, p.Distinct)
-			for h := range p.Counts {
-				hashes = append(hashes, h)
-			}
-			sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
-			out = append(out, column{tbl: ti, col: ci, hashes: hashes, isKey: p.IsKey()})
+			out = append(out, column{tbl: ti, col: ci, hashes: p.ValueHashes(), isKey: p.IsKey()})
 		}
 		return out
 	})
@@ -323,19 +320,26 @@ func jaccard(a, b []uint64, minJ float64) (float64, bool) {
 }
 
 // expansionRatio computes |T1 ⋈_{c1=c2} T2| / max(|T1|, |T2|) from the
-// columns' value-frequency maps: the join output size is
-// Σ_v freq1(v)·freq2(v) over shared values (nulls never join).
+// columns' value-frequency sets: the join output size is
+// Σ_v freq1(v)·freq2(v) over shared values (nulls never join),
+// evaluated as a merge walk over the sorted hash arrays.
 func expansionRatio(t1 *table.Table, c1 int, t2 *table.Table, c2 int) float64 {
 	p1 := t1.Profile(c1)
 	p2 := t2.Profile(c2)
-	small, large := p1.Counts, p2.Counts
-	if len(large) < len(small) {
-		small, large = large, small
-	}
+	h1, n1 := p1.ValueHashes(), p1.ValueHashCounts()
+	h2, n2 := p2.ValueHashes(), p2.ValueHashCounts()
 	var out int64
-	for h, n := range small {
-		if m, ok := large[h]; ok {
-			out += int64(n) * int64(m)
+	i, j := 0, 0
+	for i < len(h1) && j < len(h2) {
+		switch {
+		case h1[i] == h2[j]:
+			out += int64(n1[i]) * int64(n2[j])
+			i++
+			j++
+		case h1[i] < h2[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	denom := t1.NumRows()

@@ -29,9 +29,9 @@ func hashPerm(h uint64, i int) uint64 {
 }
 
 // Sketch builds a MinHash signature of size k from a set of 64-bit
-// element hashes. An empty set yields a signature of all-ones maxima
-// (never matches anything).
-func Sketch(elements map[uint64]int, k int) Signature {
+// element hashes (e.g. a column profile's ValueHashes). An empty set
+// yields a signature of all-ones maxima (never matches anything).
+func Sketch(elements []uint64, k int) Signature {
 	if k <= 0 {
 		k = SignatureSize
 	}
@@ -39,7 +39,7 @@ func Sketch(elements map[uint64]int, k int) Signature {
 	for i := range sig {
 		sig[i] = ^uint64(0)
 	}
-	for h := range elements {
+	for _, h := range elements {
 		for i := 0; i < k; i++ {
 			if v := hashPerm(h, i); v < sig[i] {
 				sig[i] = v

@@ -8,6 +8,16 @@ import (
 	"ogdp/internal/table"
 )
 
+// sketchSet adapts the tests' map-based element sets to Sketch's
+// hash-slice input.
+func sketchSet(m map[uint64]int, k int) Signature {
+	hs := make([]uint64, 0, len(m))
+	for h := range m {
+		hs = append(hs, h)
+	}
+	return Sketch(hs, k)
+}
+
 // setOf builds a hashed element set from strings.
 func setOf(vals ...string) map[uint64]int {
 	m := make(map[uint64]int, len(vals))
@@ -41,7 +51,7 @@ func TestSimilarityEstimatesJaccard(t *testing.T) {
 		overlap := int(wantJ * float64(n) * 2 / (1 + wantJ)) // |A∩B| for |A|=|B|=n
 		a, b := randomSets(rng, n, overlap)
 		trueJ := jaccardExact(a, b)
-		est := Similarity(Sketch(a, 256), Sketch(b, 256))
+		est := Similarity(sketchSet(a, 256), sketchSet(b, 256))
 		if math.Abs(est-trueJ) > 0.12 {
 			t.Errorf("target %g: estimate %.3f vs true %.3f", wantJ, est, trueJ)
 		}
@@ -64,18 +74,18 @@ func jaccardExact(a, b map[uint64]int) float64 {
 
 func TestIdenticalSetsSimilarityOne(t *testing.T) {
 	s := setOf("a", "b", "c", "d", "e")
-	if got := Similarity(Sketch(s, 64), Sketch(s, 64)); got != 1 {
+	if got := Similarity(sketchSet(s, 64), sketchSet(s, 64)); got != 1 {
 		t.Errorf("identical sets estimate %g", got)
 	}
 }
 
 func TestEmptyAndMismatched(t *testing.T) {
-	empty := Sketch(nil, 32)
-	s := Sketch(setOf("a"), 32)
+	empty := sketchSet(nil, 32)
+	s := sketchSet(setOf("a"), 32)
 	if Similarity(empty, s) != 0 {
 		t.Error("empty vs non-empty should estimate 0")
 	}
-	if Similarity(s, Sketch(setOf("a"), 64)) != 0 {
+	if Similarity(s, sketchSet(setOf("a"), 64)) != 0 {
 		t.Error("mismatched sizes should estimate 0")
 	}
 	if Similarity(nil, nil) != 0 {
@@ -85,8 +95,8 @@ func TestEmptyAndMismatched(t *testing.T) {
 
 func TestSketchDeterministic(t *testing.T) {
 	s := setOf("x", "y", "z")
-	a := Sketch(s, 64)
-	b := Sketch(s, 64)
+	a := sketchSet(s, 64)
+	b := sketchSet(s, 64)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("Sketch is not deterministic")
@@ -100,13 +110,13 @@ func TestIndexFindsHighSimilarityPairs(t *testing.T) {
 
 	// Two near-identical sets plus unrelated noise sets.
 	base, near := randomSets(rng, 300, 285) // J ≈ 0.9
-	ids := []int{ix.Add(Sketch(base, 128)), ix.Add(Sketch(near, 128))}
+	ids := []int{ix.Add(sketchSet(base, 128)), ix.Add(sketchSet(near, 128))}
 	for i := 0; i < 20; i++ {
 		noise, _ := randomSets(rng, 300, 0)
-		ix.Add(Sketch(noise, 128))
+		ix.Add(sketchSet(noise, 128))
 	}
 
-	cands := ix.Query(Sketch(base, 128), 0.8)
+	cands := ix.Query(sketchSet(base, 128), 0.8)
 	foundSelf, foundNear := false, false
 	for _, c := range cands {
 		if c.ID == ids[0] {
@@ -139,7 +149,7 @@ func TestIndexRejectsLowSimilarity(t *testing.T) {
 	var sigs []Signature
 	for i := 0; i < 30; i++ {
 		s, _ := randomSets(rng, 200, 0)
-		sig := Sketch(s, 128)
+		sig := sketchSet(s, 128)
 		sigs = append(sigs, sig)
 		ix.Add(sig)
 	}
@@ -180,7 +190,7 @@ func TestRecallAgainstExact(t *testing.T) {
 	}
 	ix := NewIndex(32, 4)
 	for _, s := range sets {
-		ix.Add(Sketch(s, 128))
+		ix.Add(sketchSet(s, 128))
 	}
 	got := map[[2]int]bool{}
 	for _, p := range ix.AllPairs(0.85) {
@@ -209,9 +219,13 @@ func TestRecallAgainstExact(t *testing.T) {
 func BenchmarkSketch(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	s, _ := randomSets(rng, 1000, 0)
+	hs := make([]uint64, 0, len(s))
+	for h := range s {
+		hs = append(hs, h)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Sketch(s, 128)
+		Sketch(hs, 128)
 	}
 }
 
@@ -221,7 +235,7 @@ func BenchmarkQuery(b *testing.B) {
 	var probe Signature
 	for i := 0; i < 500; i++ {
 		s, _ := randomSets(rng, 300, 0)
-		sig := Sketch(s, 128)
+		sig := sketchSet(s, 128)
 		if i == 0 {
 			probe = sig
 		}

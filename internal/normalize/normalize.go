@@ -98,26 +98,21 @@ func split(t *table.Table, orig []int, f fd.FD) (t1, t2 *table.Table, o1, o2 []i
 }
 
 // dedupe returns a copy of t with duplicate rows removed (projection
-// semantics).
+// semantics). Rows are grouped by their canonical-code hashes and kept
+// in first-seen order.
 func dedupe(t *table.Table) *table.Table {
 	n := t.NumRows()
 	hashes := t.RowHashes(allIndices(t.NumCols()))
 	seen := make(map[uint64]struct{}, n)
-	out := table.New(t.Name, t.Cols)
-	out.DatasetID = t.DatasetID
-	for c := range out.Data {
-		out.Data[c] = make([]string, 0, n/2+1)
-	}
+	keep := make([]int, 0, n/2+1)
 	for r := 0; r < n; r++ {
 		if _, ok := seen[hashes[r]]; ok {
 			continue
 		}
 		seen[hashes[r]] = struct{}{}
-		for c := 0; c < t.NumCols(); c++ {
-			out.Data[c] = append(out.Data[c], t.Data[c][r])
-		}
+		keep = append(keep, r)
 	}
-	return out
+	return t.SelectRows(keep)
 }
 
 func allIndices(n int) []int {

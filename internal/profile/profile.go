@@ -60,6 +60,11 @@ type PortalSizes struct {
 	CompressedBytes    int64
 	LargestTableBytes  int64
 	CompressionSampled bool
+	// PaddedCells and TruncatedCells total the row-normalization fixes
+	// the corpus's tables recorded at ingest (table.RaggedCells): cells
+	// invented to pad short rows and cells dropped from long rows.
+	PaddedCells    int64
+	TruncatedCells int64
 }
 
 // Sizes computes Table 1 for the corpus. Compression is measured with
@@ -76,6 +81,8 @@ func Sizes(c *Corpus, compress bool) PortalSizes {
 		if ti.RawSize > ps.LargestTableBytes {
 			ps.LargestTableBytes = ti.RawSize
 		}
+		ps.PaddedCells += int64(ti.Table.Ragged.Padded)
+		ps.TruncatedCells += int64(ti.Table.Ragged.Truncated)
 	}
 	ps.Datasets = len(perDS)
 	maxPerDS := 0
@@ -125,7 +132,7 @@ func gzipSizeOf(t *table.Table, rawSize int64) int64 {
 	sample := t
 	frac := 1.0
 	if n > sampleRows {
-		sample = prefixRows(t, sampleRows)
+		sample = t.PrefixShared(sampleRows)
 		frac = float64(n) / float64(sampleRows)
 	}
 	var buf bytes.Buffer
@@ -133,14 +140,6 @@ func gzipSizeOf(t *table.Table, rawSize int64) int64 {
 	writeCSV(zw, sample)
 	zw.Close()
 	return int64(float64(buf.Len()) * frac)
-}
-
-func prefixRows(t *table.Table, n int) *table.Table {
-	p := table.New(t.Name, t.Cols)
-	for c := range t.Data {
-		p.Data[c] = t.Data[c][:n]
-	}
-	return p
 }
 
 // writeCSV emits a minimal CSV; quoting is unnecessary for size
@@ -153,7 +152,7 @@ func writeCSV(w *gzip.Writer, t *table.Table) {
 	vals := make([]string, t.NumCols())
 	for r := 0; r < t.NumRows(); r++ {
 		for c := range vals {
-			vals[c] = t.Data[c][r]
+			vals[c] = t.Value(c, r)
 		}
 		row = appendRow(row[:0], vals)
 		w.Write(row)

@@ -231,19 +231,23 @@ func columnOverlap(a, b *table.Table) float64 {
 	}
 	var sum float64
 	for c := 0; c < n; c++ {
-		pa := a.Profile(c)
-		pb := b.Profile(c)
+		ha := a.Profile(c).ValueHashes()
+		hb := b.Profile(c).ValueHashes()
 		inter := 0
-		small, large := pa.Counts, pb.Counts
-		if len(large) < len(small) {
-			small, large = large, small
-		}
-		for h := range small {
-			if _, ok := large[h]; ok {
+		i, j := 0, 0
+		for i < len(ha) && j < len(hb) {
+			switch {
+			case ha[i] == hb[j]:
 				inter++
+				i++
+				j++
+			case ha[i] < hb[j]:
+				i++
+			default:
+				j++
 			}
 		}
-		unionSize := len(pa.Counts) + len(pb.Counts) - inter
+		unionSize := len(ha) + len(hb) - inter
 		if unionSize > 0 {
 			sum += float64(inter) / float64(unionSize)
 		}

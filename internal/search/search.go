@@ -56,10 +56,9 @@ func New(tables []*table.Table, minUnique int) *Engine {
 			id := int32(len(e.columns))
 			e.columns = append(e.columns, ColumnRef{Table: ti, Column: ci})
 			e.distinct = append(e.distinct, p.Distinct)
-			// Each distinct hash is visited exactly once per column, so
-			// every posting list still fills in ascending column-id order
-			// regardless of map iteration order.
-			for h := range p.Counts { //lint:allow(orderedemit) order set by outer column loop, not this map range
+			// The profile's hash set is already sorted, so posting lists
+			// fill in ascending column-id order with ascending hashes.
+			for _, h := range p.ValueHashes() {
 				e.postings[h] = append(e.postings[h], id)
 			}
 		}
@@ -75,7 +74,7 @@ func (e *Engine) NumIndexed() int { return len(e.columns) }
 // one value.
 func (e *Engine) overlaps(q *table.ColumnProfile, exclude int) map[int32]int {
 	counts := make(map[int32]int)
-	for h := range q.Counts {
+	for _, h := range q.ValueHashes() {
 		for _, id := range e.postings[h] {
 			if exclude >= 0 && e.columns[id].Table == exclude {
 				continue

@@ -1,0 +1,241 @@
+package table
+
+import (
+	"sort"
+
+	"ogdp/internal/values"
+)
+
+// FNV-64a parameters, shared by HashValue, RowHashes, and the encoded
+// value-hash sets so every layer agrees on what a value hashes to.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Encoding is the dictionary encoding of one column: the distinct raw
+// values interned once at first access, with every cell reduced to a
+// dense code. Codes are assigned by ascending byte order of the raw
+// values, so the encoding is deterministic for a given column content.
+//
+// An Encoding is immutable once built; callers must treat every slice
+// as read-only. Obtain one via Table.Encoding.
+type Encoding struct {
+	// Dict holds the column's distinct raw values in ascending byte
+	// order; Dict[Codes[r]] recovers the raw cell of row r.
+	Dict []string
+	// Codes holds one dictionary code per row.
+	Codes []uint32
+	// DictCounts[i] is the multiplicity of Dict[i] in the column.
+	DictCounts []int32
+	// DictNull[i] reports whether Dict[i] spells a null
+	// (values.IsNull).
+	DictNull []bool
+
+	nulls int // total null cells
+
+	// hashes holds the ascending distinct FNV-64a hashes of the
+	// non-null dictionary entries; hashCounts is aligned with it. In
+	// the astronomically unlikely event two distinct raw values share a
+	// hash, their counts are merged, matching the historical
+	// ColumnProfile.Counts map semantics.
+	hashes     []uint64
+	hashCounts []int32
+
+	// canon is the lazily built per-row canonical code stream: every
+	// null spelling maps to 0 and the k-th non-null dictionary entry
+	// (in Dict order) maps to k+1. canonSize is the code-space size
+	// (distinct non-null entries + 1), so canon values are always in
+	// [0, canonSize). Built under the owning table's lock.
+	canon     []uint32
+	canonSize int
+}
+
+// Nulls returns the number of null cells in the column.
+func (e *Encoding) Nulls() int { return e.nulls }
+
+// ValueHashes returns the ascending distinct FNV-64a hashes of the
+// column's non-null values. The slice is shared and must not be
+// mutated.
+func (e *Encoding) ValueHashes() []uint64 { return e.hashes }
+
+// ValueHashCounts returns the multiplicities aligned with ValueHashes.
+// The slice is shared and must not be mutated.
+func (e *Encoding) ValueHashCounts() []int32 { return e.hashCounts }
+
+// encodeColumn builds the eager part of a column's encoding (the canon
+// stream is materialized separately, on demand).
+func encodeColumn(col []string) *Encoding {
+	e := &Encoding{Codes: make([]uint32, len(col))}
+	idx := make(map[string]uint32, 64)
+	for r, v := range col {
+		c, ok := idx[v]
+		if !ok {
+			c = uint32(len(e.Dict))
+			idx[v] = c
+			e.Dict = append(e.Dict, v)
+		}
+		e.Codes[r] = c
+	}
+	// Re-assign codes by ascending raw value so they are independent of
+	// row order for a given multiset of values.
+	order := make([]int, len(e.Dict))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return e.Dict[order[a]] < e.Dict[order[b]] })
+	perm := make([]uint32, len(e.Dict)) // first-seen code -> sorted code
+	sorted := make([]string, len(e.Dict))
+	for newCode, old := range order {
+		sorted[newCode] = e.Dict[old]
+		perm[old] = uint32(newCode)
+	}
+	e.Dict = sorted
+	e.DictCounts = make([]int32, len(e.Dict))
+	for r, c := range e.Codes {
+		nc := perm[c]
+		e.Codes[r] = nc
+		e.DictCounts[nc]++
+	}
+	e.DictNull = make([]bool, len(e.Dict))
+	nonNull := 0
+	for i, v := range e.Dict {
+		if values.IsNull(v) {
+			e.DictNull[i] = true
+			e.nulls += int(e.DictCounts[i])
+		} else {
+			nonNull++
+		}
+	}
+	e.buildHashes(nonNull)
+	return e
+}
+
+// buildHashes fills hashes/hashCounts from the non-null dictionary
+// entries, merging counts on (vanishingly rare) hash collisions.
+func (e *Encoding) buildHashes(nonNull int) {
+	if nonNull == 0 {
+		return
+	}
+	hs := make([]uint64, 0, nonNull)
+	cs := make([]int32, 0, nonNull)
+	for i, v := range e.Dict {
+		if e.DictNull[i] {
+			continue
+		}
+		hs = append(hs, hashString(v))
+		cs = append(cs, e.DictCounts[i])
+	}
+	ord := make([]int, len(hs))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return hs[ord[a]] < hs[ord[b]] })
+	outH := hs[:0:0]
+	outC := cs[:0:0]
+	for _, i := range ord {
+		if n := len(outH); n > 0 && outH[n-1] == hs[i] {
+			outC[n-1] += cs[i]
+			continue
+		}
+		outH = append(outH, hs[i])
+		outC = append(outC, cs[i])
+	}
+	e.hashes = outH
+	e.hashCounts = outC
+}
+
+// materializeCanon builds the canonical code stream; the caller must
+// hold the owning table's lock.
+func (e *Encoding) materializeCanon() {
+	entryCanon := make([]uint32, len(e.Dict))
+	next := uint32(1)
+	for i := range e.Dict {
+		if e.DictNull[i] {
+			entryCanon[i] = 0
+			continue
+		}
+		entryCanon[i] = next
+		next++
+	}
+	canon := make([]uint32, len(e.Codes))
+	for r, c := range e.Codes {
+		canon[r] = entryCanon[c]
+	}
+	e.canon = canon
+	e.canonSize = int(next)
+}
+
+// hashString is FNV-64a, identical to hash/fnv but allocation-free.
+func hashString(v string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Encoding returns the cached dictionary encoding of column c,
+// building it on first use. Safe for concurrent use; the column is
+// encoded at most once.
+func (t *Table) Encoding(c int) *Encoding {
+	t.profMu.Lock()
+	defer t.profMu.Unlock()
+	return t.encodingLocked(c)
+}
+
+// encodingLocked returns (building if needed) column c's encoding; the
+// caller must hold profMu.
+func (t *Table) encodingLocked(c int) *Encoding {
+	if t.enc == nil {
+		t.enc = make([]*Encoding, len(t.Cols))
+	}
+	if t.enc[c] == nil {
+		t.enc[c] = encodeColumn(t.Data[c])
+	}
+	return t.enc[c]
+}
+
+// CanonCodes returns column c's canonical per-row codes and the size
+// of their code space: all null spellings share code 0 and the k-th
+// distinct non-null value (in ascending raw order) is k+1, so two rows
+// agree on the column exactly when their codes are equal. The slice is
+// shared and must not be mutated. FD partition refinement and row
+// hashing run entirely on these streams.
+func (t *Table) CanonCodes(c int) (codes []uint32, size int) {
+	t.profMu.Lock()
+	defer t.profMu.Unlock()
+	e := t.encodingLocked(c)
+	if e.canon == nil {
+		e.materializeCanon()
+	}
+	return e.canon, e.canonSize
+}
+
+// Value returns the raw cell value of column c, row r.
+func (t *Table) Value(c, r int) string { return t.Data[c][r] }
+
+// PrefixShared returns a table over the first n rows of t. Cell data
+// is shared with the receiver (no copying); the prefix table computes
+// its own profiles.
+func (t *Table) PrefixShared(n int) *Table {
+	p := New(t.Name, t.Cols)
+	p.DatasetID = t.DatasetID
+	for c := range t.Data {
+		p.Data[c] = t.Data[c][:n]
+	}
+	return p
+}
+
+// AppendTable appends all rows of src, which must have the same column
+// count, preserving row order. Used by the union-all materialization.
+func (t *Table) AppendTable(src *Table) {
+	if src.NumCols() != t.NumCols() {
+		panic("table: AppendTable column count mismatch")
+	}
+	for c := range t.Data {
+		t.Data[c] = append(t.Data[c], src.Data[c]...)
+	}
+	t.InvalidateProfiles()
+}

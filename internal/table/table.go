@@ -1,25 +1,41 @@
 // Package table implements the in-memory relational table model the
-// study operates on: columnar string storage with lazily computed,
+// study operates on: columnar storage with a lazily built dictionary
+// encoding per column (sorted distinct values, dense uint32 codes),
 // cached column profiles (inferred type, null ratio, distinct values,
-// uniqueness score) and the projection/hashing primitives used by key
+// uniqueness score), and the projection/hashing primitives used by key
 // discovery, functional dependency mining, and join analysis.
+//
+// Raw strings are kept as the ingest and serialization representation
+// (Data); every analysis hot path runs on the encoded form instead and
+// recovers raw values through the dictionary. Direct Data access
+// outside this package and csvio is flagged by the ogdplint rawdata
+// check.
 package table
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
 	"sync"
 
 	"ogdp/internal/values"
 )
 
+// RaggedCells counts the row-normalization fixes applied while a table
+// was ingested: cells dropped from over-long rows and cells invented
+// to pad short rows. Both are data-quality signals the profiling layer
+// surfaces instead of losing silently.
+type RaggedCells struct {
+	Truncated int // cells dropped from rows wider than the header
+	Padded    int // empty cells appended to rows narrower than the header
+}
+
 // Table is a named relational table. Values are stored column-major as
 // raw CSV strings; nulls are any value for which values.IsNull is true.
 //
-// Profile, Profiles, and DistinctCount are safe for concurrent use, so
-// analyses may share a table across goroutines as long as none of them
-// mutates Cols or Data. Mutation (AppendRow, direct Data writes plus
+// Profile, Profiles, Encoding, CanonCodes, SchemaKey, and
+// DistinctCount are safe for concurrent use, so analyses may share a
+// table across goroutines as long as none of them mutates Cols or
+// Data. Mutation (AppendRow, direct Data writes plus
 // InvalidateProfiles) must not overlap with any other access.
 type Table struct {
 	// Name identifies the table (typically the resource file name).
@@ -32,9 +48,14 @@ type Table struct {
 	// Data holds the cell values: Data[c][r] is row r of column c.
 	// All columns have the same length.
 	Data [][]string
+	// Ragged records cells truncated or padded at ingest time.
+	Ragged RaggedCells
 
-	profMu   sync.Mutex       // guards profiles
-	profiles []*ColumnProfile // lazily built, indexed like Cols
+	profMu      sync.Mutex       // guards the lazy caches below
+	profiles    []*ColumnProfile // lazily built, indexed like Cols
+	enc         []*Encoding      // lazily built, indexed like Cols
+	schemaKey   string           // lazily built by SchemaKey
+	schemaKeyOK bool
 }
 
 // New creates an empty table with the given column names.
@@ -45,13 +66,19 @@ func New(name string, cols []string) *Table {
 }
 
 // FromRows builds a table from row-major data. Short rows are padded
-// with empty strings; long rows are truncated to the header width.
+// with empty strings and long rows are truncated to the header width;
+// both fixes are counted in Ragged rather than applied silently.
 func FromRows(name string, cols []string, rows [][]string) *Table {
 	t := New(name, cols)
 	for c := range t.Data {
 		t.Data[c] = make([]string, len(rows))
 	}
 	for r, row := range rows {
+		if d := len(row) - len(cols); d > 0 {
+			t.Ragged.Truncated += d
+		} else if d < 0 {
+			t.Ragged.Padded -= d
+		}
 		for c := 0; c < len(cols); c++ {
 			if c < len(row) {
 				t.Data[c][r] = row[c]
@@ -116,19 +143,53 @@ func (t *Table) Rows() [][]string {
 }
 
 // Project returns a new table with only the given column indices, in
-// the given order. Data slices are shared with the receiver.
+// the given order. Data slices are shared with the receiver, and so
+// are any column profiles and encodings already computed (both are
+// immutable once built).
 func (t *Table) Project(cols []int) *Table {
 	p := &Table{Name: t.Name, DatasetID: t.DatasetID}
+	t.profMu.Lock()
 	for _, c := range cols {
 		p.Cols = append(p.Cols, t.Cols[c])
 		p.Data = append(p.Data, t.Data[c])
 	}
+	if t.profiles != nil {
+		p.profiles = make([]*ColumnProfile, 0, len(cols))
+		for _, c := range cols {
+			p.profiles = append(p.profiles, t.profiles[c])
+		}
+	}
+	if t.enc != nil {
+		p.enc = make([]*Encoding, 0, len(cols))
+		for _, c := range cols {
+			p.enc = append(p.enc, t.enc[c])
+		}
+	}
+	t.profMu.Unlock()
 	return p
 }
 
-// Clone returns a deep copy of the table (excluding cached profiles).
+// SelectRows returns a new table containing the given rows of t, in
+// the given order. Cell values are copied, so the result is
+// independent of the receiver.
+func (t *Table) SelectRows(rows []int) *Table {
+	out := New(t.Name, t.Cols)
+	out.DatasetID = t.DatasetID
+	for c := range out.Data {
+		col := make([]string, len(rows))
+		src := t.Data[c]
+		for i, r := range rows {
+			col[i] = src[r]
+		}
+		out.Data[c] = col
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table (excluding cached profiles
+// and encodings).
 func (t *Table) Clone() *Table {
-	c := &Table{Name: t.Name, DatasetID: t.DatasetID, Cols: append([]string(nil), t.Cols...)}
+	c := &Table{Name: t.Name, DatasetID: t.DatasetID, Cols: append([]string(nil), t.Cols...), Ragged: t.Ragged}
 	c.Data = make([][]string, len(t.Data))
 	for i, col := range t.Data {
 		c.Data[i] = append([]string(nil), col...)
@@ -142,9 +203,10 @@ type ColumnProfile struct {
 	Name     string
 	Type     values.ColumnType
 	NumRows  int
-	Nulls    int            // count of null cells
-	Distinct int            // count of distinct non-null values
-	Counts   map[uint64]int // hashed non-null value -> multiplicity
+	Nulls    int // count of null cells
+	Distinct int // count of distinct non-null values
+
+	enc *Encoding // the column's dictionary encoding
 }
 
 // NullRatio is the fraction of cells that are null.
@@ -171,12 +233,19 @@ func (p *ColumnProfile) IsKey() bool {
 	return p.NumRows > 0 && p.Nulls == 0 && p.Distinct == p.NumRows
 }
 
-// HashValue hashes a cell value the way ColumnProfile.Counts does.
-func HashValue(v string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(v))
-	return h.Sum64()
-}
+// ValueHashes returns the ascending distinct FNV-64a hashes of the
+// column's non-null values (len == Distinct). The slice is shared and
+// must not be mutated; it is what the join, search, and inclusion
+// analyses intersect instead of rebuilding hash sets per call.
+func (p *ColumnProfile) ValueHashes() []uint64 { return p.enc.hashes }
+
+// ValueHashCounts returns the multiplicities aligned with ValueHashes.
+// The slice is shared and must not be mutated.
+func (p *ColumnProfile) ValueHashCounts() []int32 { return p.enc.hashCounts }
+
+// HashValue hashes a cell value with FNV-64a, the hash underlying
+// ValueHashes.
+func HashValue(v string) uint64 { return hashString(v) }
 
 // Profile returns the cached profile of column c, computing it on
 // first use. Safe for concurrent use; the column is profiled at most
@@ -188,7 +257,7 @@ func (t *Table) Profile(c int) *ColumnProfile {
 		t.profiles = make([]*ColumnProfile, len(t.Cols))
 	}
 	if t.profiles[c] == nil {
-		t.profiles[c] = profileColumn(t.Cols[c], t.Data[c])
+		t.profiles[c] = profileColumn(t.Cols[c], t.encodingLocked(c))
 	}
 	return t.profiles[c]
 }
@@ -202,37 +271,44 @@ func (t *Table) Profiles() []*ColumnProfile {
 	return out
 }
 
-func profileColumn(name string, col []string) *ColumnProfile {
-	p := &ColumnProfile{
-		Name:    name,
-		NumRows: len(col),
-		Counts:  make(map[uint64]int),
+// profileColumn derives a column's profile entirely from its
+// dictionary encoding: nulls and distinct counts are precomputed
+// aggregates, and type inference classifies each distinct value once.
+func profileColumn(name string, e *Encoding) *ColumnProfile {
+	return &ColumnProfile{
+		Name:     name,
+		NumRows:  len(e.Codes),
+		Nulls:    e.nulls,
+		Distinct: len(e.hashes),
+		Type:     values.InferCounted(e.Dict, e.DictCounts, values.InferOptions{}),
+		enc:      e,
 	}
-	for _, v := range col {
-		if values.IsNull(v) {
-			p.Nulls++
-			continue
-		}
-		p.Counts[HashValue(v)]++
-	}
-	p.Distinct = len(p.Counts)
-	p.Type = values.Infer(col)
-	return p
 }
 
-// InvalidateProfiles drops cached column profiles; call after mutating
-// Data directly.
+// InvalidateProfiles drops cached column profiles, encodings, and the
+// schema key; call after mutating Data directly.
 func (t *Table) InvalidateProfiles() {
 	t.profMu.Lock()
 	t.profiles = nil
+	t.enc = nil
+	t.schemaKey = ""
+	t.schemaKeyOK = false
 	t.profMu.Unlock()
 }
 
 // SchemaKey returns the canonical schema identity used for the
 // unionability analysis (§6): the ordered, case-folded column names
 // joined with the columns' broad type classes. Two tables are
-// unionable exactly when their SchemaKeys are equal.
+// unionable exactly when their SchemaKeys are equal. The key is
+// computed once and cached.
 func (t *Table) SchemaKey() string {
+	t.profMu.Lock()
+	if t.schemaKeyOK {
+		k := t.schemaKey
+		t.profMu.Unlock()
+		return k
+	}
+	t.profMu.Unlock()
 	var b strings.Builder
 	for c, name := range t.Cols {
 		if c > 0 {
@@ -242,38 +318,35 @@ func (t *Table) SchemaKey() string {
 		b.WriteByte('\x1e')
 		b.WriteString(t.Profile(c).Type.BroadClass())
 	}
-	return b.String()
+	key := b.String()
+	t.profMu.Lock()
+	t.schemaKey = key
+	t.schemaKeyOK = true
+	t.profMu.Unlock()
+	return key
 }
 
 // RowHashes returns one 64-bit hash per row over the given column
-// subset, suitable for distinct counting. Null cells hash as a
-// reserved sentinel so that rows with nulls still compare consistently.
+// subset, suitable for distinct counting and duplicate-row grouping.
+// Hashes are mixed from the columns' canonical codes, so all null
+// spellings of a cell compare equal and two rows collide exactly when
+// they agree on every projected column (up to 64-bit hash collisions).
 func (t *Table) RowHashes(cols []int) []uint64 {
 	n := t.NumRows()
 	hashes := make([]uint64, n)
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	for r := 0; r < n; r++ {
-		var h uint64 = offset64
-		for _, c := range cols {
-			v := t.Data[c][r]
-			if values.IsNull(v) {
-				// All null spellings hash identically, matching the
-				// single-column profile's null bucket.
-				h ^= 0x01
-				h *= prime64
-			} else {
-				for i := 0; i < len(v); i++ {
-					h ^= uint64(v[i])
-					h *= prime64
-				}
-			}
+	for i := range hashes {
+		hashes[i] = fnvOffset64
+	}
+	for _, c := range cols {
+		codes, _ := t.CanonCodes(c)
+		for r := 0; r < n; r++ {
+			h := hashes[r]
+			h ^= uint64(codes[r])
+			h *= fnvPrime64
 			h ^= 0x1f // field separator
-			h *= prime64
+			h *= fnvPrime64
+			hashes[r] = h
 		}
-		hashes[r] = h
 	}
 	return hashes
 }

@@ -117,10 +117,7 @@ func (a *Analysis) Union(g Group) *table.Table {
 	first := a.Tables[g.Tables[0]]
 	out := table.New("union", first.Cols)
 	for _, ti := range g.Tables {
-		src := a.Tables[ti]
-		for c := range out.Data {
-			out.Data[c] = append(out.Data[c], src.Data[c]...)
-		}
+		out.AppendTable(a.Tables[ti])
 	}
 	return out
 }

@@ -120,6 +120,30 @@ func Infer(vals []string) ColumnType {
 // with near-contiguous distinct values become incremental integers;
 // low-cardinality repetitive text becomes categorical.
 func InferWith(vals []string, opts InferOptions) ColumnType {
+	// Deduplicate first so each distinct value is classified once; every
+	// signal below is an aggregate over (value, multiplicity) pairs, so
+	// the result is identical to classifying each cell.
+	idx := make(map[string]int, 64)
+	var distinct []string
+	var counts []int32
+	for _, v := range vals {
+		if i, ok := idx[v]; ok {
+			counts[i]++
+			continue
+		}
+		idx[v] = len(distinct)
+		distinct = append(distinct, v)
+		counts = append(counts, 1)
+	}
+	return InferCounted(distinct, counts, opts)
+}
+
+// InferCounted determines the column-level type from a column's
+// dictionary encoding: the distinct raw values with their
+// multiplicities. It returns exactly what InferWith returns on the
+// expanded column but classifies each distinct value once, which is
+// what makes profiling repetitive columns cheap.
+func InferCounted(distinct []string, counts []int32, opts InferOptions) ColumnType {
 	opts = opts.withDefaults()
 
 	var (
@@ -128,19 +152,29 @@ func InferWith(vals []string, opts InferOptions) ColumnType {
 		nTime, nGeo         int
 		intMin, intMax      int64
 		intSeen             bool
-		distinct            = make(map[string]struct{})
+		nDistinct           int
+		intDistinct         int // distinct values ParseInt accepts, for isIncremental
+		sumLen              int // total length of distinct non-null values, for shortValues
 	)
-	for _, v := range vals {
-		if IsNull(v) {
+	for i, v := range distinct {
+		mult := 1
+		if counts != nil {
+			mult = int(counts[i])
+		}
+		if mult <= 0 || IsNull(v) {
 			continue
 		}
-		nonNull++
-		distinct[v] = struct{}{}
+		nonNull += mult
+		nDistinct++
+		sumLen += len(v)
+		if _, ok := ParseInt(v); ok {
+			intDistinct++
+		}
 		switch KindOf(v) {
 		case KindBool:
-			nBool++
+			nBool += mult
 		case KindInt:
-			nInt++
+			nInt += mult
 			n, _ := ParseInt(v)
 			if !intSeen || n < intMin {
 				intMin = n
@@ -150,11 +184,11 @@ func InferWith(vals []string, opts InferOptions) ColumnType {
 			}
 			intSeen = true
 		case KindFloat:
-			nFloat++
+			nFloat += mult
 		case KindTimestamp:
-			nTime++
+			nTime += mult
 		case KindGeo:
-			nGeo++
+			nGeo += mult
 		}
 	}
 	if nonNull == 0 {
@@ -168,7 +202,7 @@ func InferWith(vals []string, opts InferOptions) ColumnType {
 	case nBool >= need:
 		return ColBool
 	case nInt >= need:
-		if isIncremental(distinct, intMin, intMax, opts.IncrementalSlack) {
+		if isIncremental(intDistinct, intMin, intMax, opts.IncrementalSlack) {
 			return ColIncrementalInt
 		}
 		return ColInt
@@ -182,37 +216,21 @@ func InferWith(vals []string, opts InferOptions) ColumnType {
 	// Text column: categorical if it has few distinct values that
 	// repeat, or if it is the column of a closed-domain lookup table
 	// (roughly one row per value over a small vocabulary).
-	nDistinct := len(distinct)
 	score := float64(nDistinct) / float64(nonNull)
 	if nDistinct <= categoricalMaxUnique && score <= categoricalMaxScore {
 		return ColCategorical
 	}
-	if nDistinct <= categoricalLookupMaxUnique && nonNull <= 2*nDistinct && shortValues(distinct) {
+	if nDistinct <= categoricalLookupMaxUnique && nonNull <= 2*nDistinct && nDistinct > 0 && sumLen/nDistinct <= 24 {
 		return ColCategorical
 	}
 	return ColString
 }
 
-// shortValues reports whether the distinct values look like a closed
-// vocabulary (short labels) rather than free-form text.
-func shortValues(distinct map[string]struct{}) bool {
-	total := 0
-	for v := range distinct {
-		total += len(v)
-	}
-	return len(distinct) > 0 && total/len(distinct) <= 24
-}
-
 // isIncremental reports whether the distinct integer values are
 // near-contiguous, the signature of sequential identifier columns such
-// as objectid (§5.2, Anecdote 1). Requires at least 3 distinct values.
-func isIncremental(distinct map[string]struct{}, min, max int64, slack float64) bool {
-	n := 0
-	for v := range distinct {
-		if _, ok := ParseInt(v); ok {
-			n++
-		}
-	}
+// as objectid (§5.2, Anecdote 1). n is the number of distinct values
+// that parse as integers; at least 3 are required.
+func isIncremental(n int, min, max int64, slack float64) bool {
 	if n < 3 {
 		return false
 	}

@@ -39,8 +39,10 @@ import (
 	"ogdp/internal/ckan"
 	"ogdp/internal/classify"
 	"ogdp/internal/core"
+	"ogdp/internal/corpus"
 	"ogdp/internal/csvio"
 	"ogdp/internal/dict"
+	"ogdp/internal/diskcorpus"
 	"ogdp/internal/fd"
 	"ogdp/internal/gen"
 	"ogdp/internal/ind"
@@ -87,6 +89,9 @@ type (
 	PortalProfile = gen.PortalProfile
 	// Corpus is a generated portal corpus with provenance.
 	Corpus = gen.Corpus
+	// CorpusSource is the storage-agnostic corpus interface the study
+	// runs over; *Corpus and disk-loaded corpora both implement it.
+	CorpusSource = corpus.Source
 	// StudyOptions configures a full study run.
 	StudyOptions = core.Options
 	// StudyResult holds every experiment of the paper for all portals.
@@ -241,6 +246,30 @@ func GenerateCorpus(p PortalProfile, scale float64, seed int64) *Corpus {
 // is byte-identical for every worker count.
 func RunStudy(opts StudyOptions) *StudyResult {
 	return core.Run(gen.Profiles(), opts)
+}
+
+// RunPortalStudy executes every analysis of the paper over one corpus
+// source — generated or loaded from disk. Generated corpora
+// additionally get the ground-truth labeling and the HTTP funnel;
+// other sources run the structural analyses.
+func RunPortalStudy(src CorpusSource, opts StudyOptions) PortalResult {
+	return core.RunPortal(src, opts)
+}
+
+// SaveCorpus writes a generated corpus to a directory: one CSV per
+// table plus dataset and provenance manifests, so LoadCorpusDir can
+// reconstruct it for an identical study run.
+func SaveCorpus(dir string, c *Corpus) error {
+	_, err := gen.SaveCorpus(dir, c)
+	return err
+}
+
+// LoadCorpusDir loads a directory of CSV files as a study-ready
+// corpus source. Directories written by SaveCorpus (or ogdpgen) come
+// back with full provenance; any other directory loads through the
+// paper's acquisition pipeline (sniffing, header inference, cleaning).
+func LoadCorpusDir(dir string) (CorpusSource, error) {
+	return diskcorpus.LoadStudy(dir)
 }
 
 // WriteReport renders every table and figure of the paper from a
