@@ -683,10 +683,12 @@ func BenchmarkAblationExactVsFuzzyUnion(b *testing.B) {
 // harness default scale across worker counts. workers-1 is the
 // sequential baseline that the speedups recorded in EXPERIMENTS.md
 // are quoted against; every variant produces byte-identical results
-// (see TestStudyDeterministicAcrossWorkers).
+// (see TestStudyDeterministicAcrossWorkers). The dedicated scaling
+// harness with the CI-enforced threshold is cmd/ogdpscaling
+// (BENCH_scaling.json holds its reference numbers).
 func BenchmarkStudyParallel(b *testing.B) {
-	counts := []int{1, 2, 4}
-	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+	counts := []int{1, 2, 4, 8}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 && p != 8 {
 		counts = append(counts, p)
 	}
 	for _, w := range counts {

@@ -12,6 +12,7 @@ import (
 
 	"ogdp/internal/obs"
 	"ogdp/internal/parallel"
+	"ogdp/internal/table"
 )
 
 // Obs bundles the observability flags the ogdp tools share:
@@ -25,8 +26,9 @@ import (
 // Everything recorded without -trace is deterministic: the registry
 // and trace carry no clock, so -metrics output is byte-identical for
 // every -workers value. -trace injects time.Now into the root span
-// and installs pool telemetry; its output varies run to run and is
-// for diagnosis, not diffing.
+// and installs pool telemetry (per-pool batch/queue-depth series) and
+// the table layer's encode-wait histogram; that output varies run to
+// run and is for diagnosis, not diffing.
 type Obs struct {
 	metrics     bool
 	metricsJSON string
@@ -67,6 +69,7 @@ func (o *Obs) Start(root string) {
 	if o.trace {
 		o.root = obs.NewTimedTrace(root, time.Now)
 		parallel.SetObserver(obs.NewPoolStats(o.reg))
+		table.SetBuildObserver(obs.NewEncodeStats(o.reg, time.Now))
 	} else {
 		o.root = obs.NewTrace(root)
 	}

@@ -1,0 +1,211 @@
+// Command ogdpscaling is the parallel-scaling harness: it runs the
+// full four-portal study at each requested worker count, checks that
+// every run produced identical results, and reports wall-clock
+// speedups relative to the sequential (workers=1) baseline as JSON.
+//
+// Usage:
+//
+//	ogdpscaling                          # measure workers 1,2,4,8, print JSON
+//	ogdpscaling -out BENCH_scaling.json  # also write the JSON to a file
+//	ogdpscaling -check                   # exit non-zero below the threshold
+//	ogdpscaling -check -threshold 3.0    # pin the threshold explicitly
+//
+// The -check threshold is core-count-aware by default, because the
+// achievable speedup is bounded by the hardware the harness happens to
+// run on: with C usable cores the default demands the best measured
+// speedup reach 0.75 × min(4, C) — 3.0× on the ≥4-core CI runners the
+// scaling contract targets — while on a single-core machine (where
+// speedup > 1 is physically impossible) it degrades to an overhead
+// guard: the most parallel run must not be slower than 1/0.85 ≈ 1.18×
+// the sequential baseline. Pass -threshold to pin the bar explicitly.
+//
+// Timing lives here, in the cmd/ layer, for the usual reason: the
+// study itself must stay clock-free so its output is byte-identical
+// for every worker count — a property this harness also re-verifies on
+// every run before it trusts the timings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ogdp/internal/core"
+	"ogdp/internal/gen"
+)
+
+// run is one measured study execution.
+type run struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+}
+
+// result is the harness's JSON document; BENCH_scaling.json at the
+// repo root is one of these, produced with -out.
+type result struct {
+	Cores      int     `json:"cores"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+	Seed       int64   `json:"seed"`
+	Runs       []run   `json:"runs"`
+	// Speedups maps "workers-N" to baseline_seconds / N_seconds.
+	Speedups map[string]float64 `json:"speedups"`
+	// BestSpeedup is the largest entry of Speedups.
+	BestSpeedup float64 `json:"best_speedup"`
+	// Threshold is the bar BestSpeedup was (or would be) checked
+	// against; ThresholdSource records whether it came from -threshold
+	// or the core-count-aware default.
+	Threshold       float64 `json:"threshold"`
+	ThresholdSource string  `json:"threshold_source"`
+	Identical       bool    `json:"results_identical"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ogdpscaling: ")
+
+	scale := flag.Float64("scale", 0.15, "corpus scale (matches the BenchmarkStudyParallel harness)")
+	seed := flag.Int64("seed", 100, "generation seed")
+	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts; the first is the baseline")
+	out := flag.String("out", "", "also write the JSON result to this file")
+	check := flag.Bool("check", false, "exit 1 when the best speedup misses the threshold")
+	threshold := flag.Float64("threshold", 0, "speedup bar for -check (0 = core-count-aware default)")
+	flag.Parse()
+
+	counts, err := parseCounts(*workersList)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.Options{
+		Scale:         *scale,
+		Seed:          *seed,
+		MaxFDTables:   150,
+		SamplePerCell: 8,
+		UnionSamples:  10,
+	}
+
+	res := result{
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		Seed:       *seed,
+		Speedups:   map[string]float64{},
+		Identical:  true,
+	}
+
+	// One untimed warm-up pass populates the OS page cache and the Go
+	// runtime's memory before anything is measured.
+	study(opts, counts[0])
+
+	var baseline *core.StudyResult
+	var baselineSecs float64
+	for i, w := range counts {
+		start := time.Now()
+		sr := study(opts, w)
+		secs := time.Since(start).Seconds()
+		res.Runs = append(res.Runs, run{Workers: w, Seconds: round(secs)})
+		fmt.Fprintf(os.Stderr, "workers=%d: %.2fs\n", w, secs)
+
+		normalize(sr)
+		if i == 0 {
+			baseline, baselineSecs = sr, secs
+			continue
+		}
+		speedup := round(baselineSecs / secs)
+		res.Speedups[fmt.Sprintf("workers-%d", w)] = speedup
+		if speedup > res.BestSpeedup {
+			res.BestSpeedup = speedup
+		}
+		if !reflect.DeepEqual(sr, baseline) {
+			res.Identical = false
+		}
+	}
+	res.Threshold, res.ThresholdSource = pickThreshold(*threshold, res.Cores)
+
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc = append(doc, '\n')
+	os.Stdout.Write(doc)
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if !res.Identical {
+		log.Fatal("FAIL: study results differ across worker counts (determinism contract broken)")
+	}
+	if *check && res.BestSpeedup < res.Threshold {
+		log.Fatalf("FAIL: best speedup %.2f× below threshold %.2f× (%s, %d cores)",
+			res.BestSpeedup, res.Threshold, res.ThresholdSource, res.Cores)
+	}
+}
+
+// study runs the full four-portal study at one worker count.
+func study(opts core.Options, workers int) *core.StudyResult {
+	opts.Workers = workers
+	return core.Run(gen.Profiles(), opts)
+}
+
+// normalize strips the fields that differ across runs by construction:
+// Options records the worker count, and each run generates its own
+// (deeply equal) corpus.
+func normalize(sr *core.StudyResult) {
+	sr.Options = core.Options{}
+	for i := range sr.Portals {
+		sr.Portals[i].Corpus = nil
+	}
+}
+
+// pickThreshold returns the -check bar. An explicit -threshold wins;
+// otherwise the bar scales with the cores actually available, capped
+// at the 4-worker target the scaling contract is written against.
+func pickThreshold(flagVal float64, cores int) (float64, string) {
+	if flagVal > 0 {
+		return flagVal, "flag"
+	}
+	if cores <= 1 {
+		// Speedup is impossible on one core; guard against parallel
+		// overhead instead: best "speedup" must stay above 0.85 (i.e.
+		// the most parallel run at most ~1.18× slower than sequential).
+		return 0.85, "auto-1core-overhead-guard"
+	}
+	n := cores
+	if n > 4 {
+		n = 4
+	}
+	return 0.75 * float64(n), "auto-0.75x-min(4,cores)"
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("-workers needs at least a baseline and one parallel count")
+	}
+	return out, nil
+}
+
+func round(f float64) float64 {
+	return float64(int(f*100+0.5)) / 100
+}

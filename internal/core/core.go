@@ -268,9 +268,11 @@ func sectionSeed(seed int64, salt int64) int64 {
 
 // Run executes the study for the given portal profiles (use
 // gen.Profiles() for the paper's four). Portals are generated and
-// analyzed concurrently when opts.Workers allows; each portal writes
-// only its own result slot, so the output order always matches the
-// profile list.
+// analyzed concurrently when opts.Workers allows — and, because each
+// portal's sections fan out through the same bounded pool layers, the
+// sections of different portals overlap too. Each portal writes only
+// its own result slot, so the output order always matches the profile
+// list.
 func Run(profiles []gen.PortalProfile, opts Options) *StudyResult {
 	opts = opts.withDefaults()
 	res := &StudyResult{Options: opts, Portals: make([]PortalResult, len(profiles))}
@@ -281,11 +283,58 @@ func Run(profiles []gen.PortalProfile, opts Options) *StudyResult {
 	for i, p := range profiles {
 		spans[i] = opts.Trace.Child("portal:" + p.Name)
 	}
-	parallel.ForEach(context.Background(), len(profiles), opts.Workers, func(i int) {
+	// Study fan-outs run under context.Background() and are never
+	// canceled, so ForEach's only error source (its context) cannot
+	// fire; parallel.Must turns that impossibility into a loud panic
+	// instead of a silently dropped error. Worker panics propagate
+	// separately as *parallel.WorkerPanic.
+	parallel.Must(parallel.ForEach(parallel.WithPool(context.Background(), "portals"), len(profiles), opts.Workers, func(i int) {
 		c := gen.Generate(profiles[i], opts.Scale, opts.Seed+int64(i))
 		res.Portals[i] = runPortal(c, opts, spans[i])
-	})
+	}))
 	return res
+}
+
+// colUnit is one independent precompute work unit: one column of one
+// table, optionally including its canonical code stream.
+type colUnit struct {
+	t     *table.Table
+	c     int
+	canon bool
+}
+
+// precomputeUnits flattens the corpus into per-(table, column) work
+// units for the precompute fan-out. Columns of tables in the §4 FD
+// subset additionally materialize their canonical code streams (the
+// representation the FD/key lattice searches and row hashing consume);
+// canon streams of other tables are never read, so building them
+// would only cost time and memory.
+//
+// Units are ordered largest-table-first so a skewed corpus cannot
+// stretch the fan-out's makespan by scheduling its giant tables last;
+// the stable sort keeps (table, column) order among equal sizes, so
+// the unit list is deterministic. Scheduling order never affects
+// results — each unit writes only its own column's caches.
+func precomputeUnits(tables []*table.Table, fdTables []*table.Table) []colUnit {
+	canonFor := make(map[*table.Table]bool, len(fdTables))
+	for _, t := range fdTables {
+		canonFor[t] = true
+	}
+	total := 0
+	for _, t := range tables {
+		total += t.NumCols()
+	}
+	units := make([]colUnit, 0, total)
+	for _, t := range tables {
+		canon := canonFor[t]
+		for c := 0; c < t.NumCols(); c++ {
+			units = append(units, colUnit{t: t, c: c, canon: canon})
+		}
+	}
+	sort.SliceStable(units, func(i, j int) bool {
+		return units[i].t.NumRows() > units[j].t.NumRows()
+	})
+	return units
 }
 
 // RunPortal executes every analysis over one corpus. The four sections
@@ -310,6 +359,7 @@ type servablePortal interface {
 
 func runPortal(src corpus.Source, opts Options, span *obs.Span) PortalResult {
 	pr := PortalResult{Portal: src.PortalID(), Corpus: src}
+	bg := context.Background()
 
 	metas := src.TableMetas()
 	datasets := src.DatasetMetas()
@@ -320,19 +370,24 @@ func runPortal(src corpus.Source, opts Options, span *obs.Span) PortalResult {
 	span.AddTasks(len(tables))
 	recordCorpusMetrics(pr.Portal, metas, datasets, opts.Metrics)
 
-	// Profile every table up front, fanning out per table: this is the
-	// bulk of §3's CPU, and it leaves the sections below reading an
-	// immutable cache instead of racing to fill it.
-	cacheSpan := span.Child("profile-cache")
-	cacheSpan.AddTasks(len(tables))
-	parallel.ForEach(context.Background(), len(tables), opts.Workers, func(i int) {
-		t := tables[i]
-		for c := range t.Cols {
-			t.Profile(c)
-		}
-	})
-	cacheSpan.End()
+	// Precompute every per-column cache up front as one flat list of
+	// independent (table, column) work units: this is the bulk of §3's
+	// CPU, and it leaves the sections below reading immutable,
+	// lock-free caches instead of racing to fill them. Flat granularity
+	// matters — the old per-table fan-out (with a sequential inner
+	// column loop) serialized behind the corpus's few giant tables.
 	fdTables := fdSubset(metas, opts.MaxFDTables)
+	cacheSpan := span.Child("precompute")
+	units := precomputeUnits(tables, fdTables)
+	cacheSpan.AddTasks(len(units))
+	parallel.Must(parallel.ForEach(parallel.WithPool(bg, "precompute"), len(units), opts.Workers, func(i int) {
+		u := units[i]
+		u.t.Profile(u.c)
+		if u.canon {
+			u.t.CanonCodes(u.c)
+		}
+	}))
+	cacheSpan.End()
 	// The labeling oracle is a capability of generated corpora; other
 	// sources run unlabeled (classify treats a nil oracle as "no
 	// annotation available").
@@ -373,10 +428,27 @@ func runPortal(src corpus.Source, opts Options, span *obs.Span) PortalResult {
 			secProfile.End()
 		},
 		func() { // ---- keys and FDs (§4) ----
-			secKeys.AddTasks(len(fdTables))
-			pr.KeySizeDist = keys.SizeDistributionParallel(fdTables, keys.MaxCandidateKeySize, opts.Workers)
+			n := len(fdTables)
+			secKeys.AddTasks(2 * n)
+			// One flat fan-out covers both §4.1 (minimal candidate
+			// keys) and §4.2 (FD discovery + BCNF decomposition):
+			// units [0, n) are the per-table FD searches — the heavier
+			// pass, scheduled first — and units [n, 2n) the per-table
+			// key searches. Fusing the passes removes the barrier that
+			// previously idled workers between them; both write only
+			// index-addressed slots, so the fold is order-independent.
+			fdPer := make([]tableFD, n)
+			keySizes := make([]int, n)
+			parallel.Must(parallel.ForEach(parallel.WithPool(bg, "keys+fd"), 2*n, opts.Workers, func(i int) {
+				if i < n {
+					fdPer[i] = fdTableOne(fdTables[i], opts.Seed, i)
+				} else {
+					keySizes[i-n] = keys.MinCandidateKeySize(fdTables[i-n], keys.MaxCandidateKeySize)
+				}
+			}))
+			pr.KeySizeDist = keys.FoldSizeDistribution(keySizes, keys.MaxCandidateKeySize)
 			var cost fdCost
-			pr.FD, cost = fdAnalysis(fdTables, opts.Seed, opts.Workers)
+			pr.FD, cost = foldFD(fdPer)
 			counter("ogdp_fd_tables_total", "Tables entering the FD/BCNF analysis.", len(fdTables))
 			counter("ogdp_fd_discovered_total", "Minimal non-trivial FDs discovered.", cost.fds)
 			counter("ogdp_fd_cardinalities_total", "Projection count-distinct evaluations performed by the FUN search.", cost.cardinalities)
@@ -415,7 +487,9 @@ func runPortal(src corpus.Source, opts Options, span *obs.Span) PortalResult {
 			secUnion.End()
 		},
 	}
-	parallel.ForEach(context.Background(), len(sections), opts.Workers, func(i int) { sections[i]() })
+	// Never canceled (see Run); Must converts the impossible context
+	// error into a panic instead of dropping it.
+	parallel.Must(parallel.ForEach(parallel.WithPool(bg, "sections"), len(sections), opts.Workers, func(i int) { sections[i]() }))
 
 	if opts.Extensions {
 		ext := extensionStats(src, tables, fdTables)
@@ -593,47 +667,51 @@ type fdCost struct {
 	fds           int
 }
 
-// fdAnalysis fans FD discovery and BCNF decomposition out per table.
-// Each table draws its decomposition choices from an rng stream
-// derived from (seed, seedSaltFD, table index), and per-table results
-// are folded in index order, so the aggregate (including its
+// tableFD is one table's FD/BCNF result, the work unit of the fused
+// §4 fan-out in runPortal. Results are index-addressed and folded in
+// index order by foldFD, so the aggregate (including its
 // floating-point sums) is identical for every worker count.
-func fdAnalysis(tables []*table.Table, seed int64, workers int) (FDStats, fdCost) {
-	type tableFD struct {
-		cols      int
-		withFD    bool
-		simpleFD  bool
-		subTables int
-		inBCNF    bool
-		partCols  []float64
-		gain      float64
-		cost      fd.Cost
-	}
-	per, _ := parallel.Map(context.Background(), len(tables), workers, func(i int) tableFD {
-		t := tables[i]
-		r := tableFD{cols: t.NumCols()}
-		fds, cost := fd.DiscoverCost(t, fd.MaxLHS)
-		r.cost = cost
-		if len(fds) == 0 {
-			r.subTables = 1
-			r.inBCNF = true
-			return r
-		}
-		r.withFD = true
-		r.simpleFD = len(fd.SimpleFDs(fds)) > 0
-		rng := rand.New(rand.NewSource(sectionSeed(seed, seedSaltFD) + int64(i)))
-		res := normalize.Decompose(t, fd.MaxLHS, rng)
-		r.subTables = len(res.Tables)
-		r.inBCNF = res.InBCNF()
-		if !r.inBCNF {
-			for _, sub := range res.Tables {
-				r.partCols = append(r.partCols, float64(sub.NumCols()))
-			}
-			r.gain = res.UniquenessGain()
-		}
-		return r
-	})
+type tableFD struct {
+	cols      int
+	withFD    bool
+	simpleFD  bool
+	subTables int
+	inBCNF    bool
+	partCols  []float64
+	gain      float64
+	cost      fd.Cost
+}
 
+// fdTableOne runs FD discovery and BCNF decomposition on one table.
+// The table's decomposition choices are drawn from an rng stream
+// derived from (seed, seedSaltFD, table index i), never from shared
+// state, so distinct indices may run concurrently.
+func fdTableOne(t *table.Table, seed int64, i int) tableFD {
+	r := tableFD{cols: t.NumCols()}
+	fds, cost := fd.DiscoverCost(t, fd.MaxLHS)
+	r.cost = cost
+	if len(fds) == 0 {
+		r.subTables = 1
+		r.inBCNF = true
+		return r
+	}
+	r.withFD = true
+	r.simpleFD = len(fd.SimpleFDs(fds)) > 0
+	rng := rand.New(rand.NewSource(sectionSeed(seed, seedSaltFD) + int64(i)))
+	res := normalize.Decompose(t, fd.MaxLHS, rng)
+	r.subTables = len(res.Tables)
+	r.inBCNF = res.InBCNF()
+	if !r.inBCNF {
+		for _, sub := range res.Tables {
+			r.partCols = append(r.partCols, float64(sub.NumCols()))
+		}
+		r.gain = res.UniquenessGain()
+	}
+	return r
+}
+
+// foldFD aggregates per-table FD results in index order.
+func foldFD(per []tableFD) (FDStats, fdCost) {
 	st := FDStats{DecompositionDist: map[int]int{}}
 	var cost fdCost
 	var cols float64

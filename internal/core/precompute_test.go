@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ogdp/internal/table"
+)
+
+func unitTable(name string, cols, rows int) *table.Table {
+	header := make([]string, cols)
+	for c := range header {
+		header[c] = fmt.Sprintf("c%d", c)
+	}
+	data := make([][]string, rows)
+	for r := range data {
+		row := make([]string, cols)
+		for c := range row {
+			row[c] = fmt.Sprintf("%d", r*cols+c)
+		}
+		data[r] = row
+	}
+	return table.FromRows(name+".csv", header, data)
+}
+
+// TestPrecomputeUnits pins the shape of the precompute fan-out's work
+// list: one unit per (table, column), canonical code streams exactly
+// for the FD-subset tables, and a deterministic largest-table-first
+// order.
+func TestPrecomputeUnits(t *testing.T) {
+	small := unitTable("small", 3, 10)
+	mid := unitTable("mid", 2, 50)
+	big := unitTable("big", 4, 200)
+	tables := []*table.Table{small, mid, big}
+	fdTables := []*table.Table{mid}
+
+	units := precomputeUnits(tables, fdTables)
+
+	if len(units) != 3+2+4 {
+		t.Fatalf("unit count = %d, want 9", len(units))
+	}
+
+	seen := map[string]int{}
+	for _, u := range units {
+		seen[fmt.Sprintf("%s:%d", u.t.Name, u.c)]++
+		if u.canon != (u.t == mid) {
+			t.Errorf("table %s col %d: canon = %v, want %v", u.t.Name, u.c, u.canon, u.t == mid)
+		}
+	}
+	for _, tb := range tables {
+		for c := 0; c < tb.NumCols(); c++ {
+			key := fmt.Sprintf("%s:%d", tb.Name, c)
+			if seen[key] != 1 {
+				t.Errorf("unit %s appears %d times, want exactly once", key, seen[key])
+			}
+		}
+	}
+
+	// Largest table first; columns stay in order within a table.
+	wantOrder := []string{
+		"big.csv:0", "big.csv:1", "big.csv:2", "big.csv:3",
+		"mid.csv:0", "mid.csv:1",
+		"small.csv:0", "small.csv:1", "small.csv:2",
+	}
+	for i, u := range units {
+		if got := fmt.Sprintf("%s:%d", u.t.Name, u.c); got != wantOrder[i] {
+			t.Fatalf("unit %d = %s, want %s (largest-first, stable)", i, got, wantOrder[i])
+		}
+	}
+}
+
+// TestPrecomputeUnitsEmpty: no tables, no units — and an empty list
+// must not panic the fan-out path.
+func TestPrecomputeUnitsEmpty(t *testing.T) {
+	if units := precomputeUnits(nil, nil); len(units) != 0 {
+		t.Fatalf("units = %d, want 0", len(units))
+	}
+}

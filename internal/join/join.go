@@ -113,13 +113,14 @@ func Find(tables []*table.Table, opts Options) *Analysis {
 		pair Pair
 		ok   bool
 	}
-	verified, _ := parallel.Map(context.Background(), len(cands), opts.Workers, func(k int) verdict {
-		c := cands[k]
-		if jv, ok := jaccard(cols[c.i].hashes, cols[c.j].hashes, opts.MinJaccard); ok {
-			return verdict{pair: makePair(tables, cols, c.j, c.i, jv), ok: true}
-		}
-		return verdict{}
-	})
+	verified := parallel.MustMap(parallel.Map(parallel.WithPool(context.Background(), "join-verify"),
+		len(cands), opts.Workers, func(k int) verdict {
+			c := cands[k]
+			if jv, ok := jaccard(cols[c.i].hashes, cols[c.j].hashes, opts.MinJaccard); ok {
+				return verdict{pair: makePair(tables, cols, c.j, c.i, jv), ok: true}
+			}
+			return verdict{}
+		}))
 	for _, v := range verified {
 		if v.ok {
 			a.Pairs = append(a.Pairs, v.pair)
@@ -248,27 +249,30 @@ func makePair(tables []*table.Table, cols []column, i, j int, jv float64) Pair {
 }
 
 // collectColumns indexes every eligible column of the corpus, fanning
-// out per table (each table's profile cache is then touched by exactly
-// one goroutine). Concatenating the per-table slices in table order
-// keeps the column numbering identical to a sequential scan. The hash
-// sets are the profiles' cached, already-sorted value-hash arrays, so
-// collection allocates nothing per column beyond the index entries.
+// out per table. Profiles are normally already published by core's
+// precompute pass, making this a read-only, lock-free walk; any column
+// profiled here is built exactly once under its column lock.
+// Concatenating the per-table slices in table order keeps the column
+// numbering identical to a sequential scan. The hash sets are the
+// profiles' cached, already-sorted value-hash arrays, so collection
+// allocates nothing per column beyond the index entries.
 func collectColumns(tables []*table.Table, minUnique, workers int) []column {
-	perTable, _ := parallel.Map(context.Background(), len(tables), workers, func(ti int) []column {
-		t := tables[ti]
-		var out []column
-		for ci := range t.Cols {
-			p := t.Profile(ci)
-			if minUnique > 0 && p.Distinct < minUnique {
-				continue
+	perTable := parallel.MustMap(parallel.Map(parallel.WithPool(context.Background(), "join-columns"),
+		len(tables), workers, func(ti int) []column {
+			t := tables[ti]
+			var out []column
+			for ci := range t.Cols {
+				p := t.Profile(ci)
+				if minUnique > 0 && p.Distinct < minUnique {
+					continue
+				}
+				if p.Distinct == 0 {
+					continue
+				}
+				out = append(out, column{tbl: ti, col: ci, hashes: p.ValueHashes(), isKey: p.IsKey()})
 			}
-			if p.Distinct == 0 {
-				continue
-			}
-			out = append(out, column{tbl: ti, col: ci, hashes: p.ValueHashes(), isKey: p.IsKey()})
-		}
-		return out
-	})
+			return out
+		}))
 	var out []column
 	for _, cs := range perTable {
 		out = append(out, cs...)

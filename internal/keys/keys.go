@@ -115,10 +115,23 @@ func SizeDistribution(tables []*table.Table, maxSize int) []int {
 // over workers goroutines (0 = GOMAXPROCS, 1 = sequential). Each
 // table's search is independent, so the merged histogram is identical
 // for every worker count.
+//
+// Callers that already run inside a fan-out (like core's fused §4
+// pass) should instead call MinCandidateKeySize per unit and fold with
+// FoldSizeDistribution, avoiding a nested pool.
 func SizeDistributionParallel(tables []*table.Table, maxSize, workers int) []int {
-	sizes, _ := parallel.Map(context.Background(), len(tables), workers, func(i int) int {
-		return MinCandidateKeySize(tables[i], maxSize)
-	})
+	sizes := parallel.MustMap(parallel.Map(parallel.WithPool(context.Background(), "keys"),
+		len(tables), workers, func(i int) int {
+			return MinCandidateKeySize(tables[i], maxSize)
+		}))
+	return FoldSizeDistribution(sizes, maxSize)
+}
+
+// FoldSizeDistribution bins per-table minimal key sizes (as returned
+// by MinCandidateKeySize) into the Figure 6 histogram: index 1..maxSize
+// count tables whose smallest key has that size; index 0 counts tables
+// with no key of size ≤ maxSize.
+func FoldSizeDistribution(sizes []int, maxSize int) []int {
 	dist := make([]int, maxSize+1)
 	for _, s := range sizes {
 		dist[s]++

@@ -1,0 +1,59 @@
+package obs
+
+import "time"
+
+// WaitBuckets bounds lock-wait/build-duration histograms, in
+// microseconds (10µs … 10s).
+var WaitBuckets = []float64{10, 100, 1000, 10000, 100000, 1e6, 1e7}
+
+// EncodeStats records the table layer's slow-path cache telemetry: an
+// ogdp_encode_wait_micros histogram of how long goroutines spent
+// inside the build-or-wait window of each lazy cache (dictionary
+// encoding, profile, canonical codes, schema key), split by whether
+// the goroutine built the value or waited out a racing builder, plus
+// an ogdp_encode_builds_total counter of actual builds.
+//
+// It implements internal/table's BuildObserver interface structurally,
+// so table never imports obs. Wait durations and waited-event counts
+// are scheduling-dependent, which is why the cmd/ layer installs an
+// EncodeStats only under -trace (diagnostics), never in the
+// deterministic -metrics mode; the clock is injected for the same
+// reason obs never reads one itself.
+//
+// After the lock-free publication refactor, a healthy study shows
+// every "waited" bucket near zero outside the initial precompute
+// fan-out: any regrowth of waited time is a contention regression made
+// visible here before it flattens the scaling curve.
+type EncodeStats struct {
+	reg   *Registry
+	clock func() time.Time
+}
+
+// NewEncodeStats creates build/wait telemetry backed by r, timing
+// windows with the given clock (pass time.Now from the cmd/ layer).
+func NewEncodeStats(r *Registry, clock func() time.Time) *EncodeStats {
+	return &EncodeStats{reg: r, clock: clock}
+}
+
+// BuildStart opens one build-or-wait window of the given cache kind;
+// the returned func closes it.
+func (s *EncodeStats) BuildStart(kind string) func(built bool) {
+	if s == nil {
+		return func(bool) {}
+	}
+	start := s.clock()
+	return func(built bool) {
+		wait := s.clock().Sub(start)
+		outcome := "waited"
+		if built {
+			outcome = "built"
+			s.reg.Counter("ogdp_encode_builds_total",
+				"lazy table-cache values built (exactly once per column per kind)",
+				"kind", kind).Inc()
+		}
+		s.reg.Histogram("ogdp_encode_wait_micros",
+			"time spent in the slow-path build-or-wait window of the table layer's lazy caches, in microseconds",
+			WaitBuckets, "kind", kind, "outcome", outcome).
+			Observe(float64(wait.Microseconds()))
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic clock: every reading advances it by
+// step, so one BuildStart/done window spans exactly step.
+type fakeClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func TestEncodeStatsRecordsBuildsAndWaits(t *testing.T) {
+	r := NewRegistry()
+	clock := &fakeClock{now: time.Unix(1000, 0), step: 250 * time.Microsecond}
+	s := NewEncodeStats(r, clock.Now)
+
+	s.BuildStart("encode")(true)
+	s.BuildStart("encode")(false)
+	s.BuildStart("canon")(true)
+
+	snap := r.Snapshot()
+	if v, ok := snap.Value("ogdp_encode_builds_total", "kind", "encode"); !ok || v != 1 {
+		t.Errorf("encode builds = %v, %v; want 1", v, ok)
+	}
+	if v, ok := snap.Value("ogdp_encode_builds_total", "kind", "canon"); !ok || v != 1 {
+		t.Errorf("canon builds = %v, %v; want 1", v, ok)
+	}
+	if _, ok := snap.Value("ogdp_encode_builds_total", "kind", "profile"); ok {
+		t.Error("profile builds series must not exist: none were recorded")
+	}
+
+	// One window each lands in the histogram under its outcome label;
+	// the fake clock makes each window exactly 250µs, the second
+	// WaitBuckets bound's bucket.
+	for _, c := range []struct {
+		kind, outcome string
+		want          int64
+	}{
+		{"encode", "built", 1},
+		{"encode", "waited", 1},
+		{"canon", "built", 1},
+	} {
+		h := r.Histogram("ogdp_encode_wait_micros", "", WaitBuckets,
+			"kind", c.kind, "outcome", c.outcome)
+		if h.Count() != c.want {
+			t.Errorf("wait histogram {kind=%s outcome=%s} count = %d, want %d",
+				c.kind, c.outcome, h.Count(), c.want)
+		}
+		if h.Sum() != 250 {
+			t.Errorf("wait histogram {kind=%s outcome=%s} sum = %v µs, want 250",
+				c.kind, c.outcome, h.Sum())
+		}
+	}
+}
+
+func TestEncodeStatsNilSafe(t *testing.T) {
+	var s *EncodeStats
+	s.BuildStart("encode")(true) // must not panic
+}
+
+func TestPoolStatsLabelsSeriesByPool(t *testing.T) {
+	r := NewRegistry()
+	p := NewPoolStats(r)
+
+	p.PoolStart("precompute", 10, 4)
+	p.TaskDone("precompute", 0, 9)
+	p.TaskDone("precompute", 1, 8)
+	p.PoolStart("keys+fd", 6, 2)
+	p.TaskDone("keys+fd", 0, 5)
+
+	snap := r.Snapshot()
+	if v, ok := snap.Value("ogdp_pool_batches_total", "pool", "precompute"); !ok || v != 1 {
+		t.Errorf("precompute batches = %v, %v; want 1", v, ok)
+	}
+	if v, ok := snap.Value("ogdp_pool_batches_total", "pool", "keys+fd"); !ok || v != 1 {
+		t.Errorf("keys+fd batches = %v, %v; want 1", v, ok)
+	}
+	if v, ok := snap.Value("ogdp_pool_queue_depth", "pool", "precompute"); !ok || v != 8 {
+		t.Errorf("precompute queue depth = %v, %v; want 8 (last sample)", v, ok)
+	}
+	if v, ok := snap.Value("ogdp_pool_queue_depth", "pool", "keys+fd"); !ok || v != 5 {
+		t.Errorf("keys+fd queue depth = %v, %v; want 5", v, ok)
+	}
+	if v, ok := snap.Value("ogdp_pool_tasks_total", "pool", "precompute", "worker", "00"); !ok || v != 1 {
+		t.Errorf("precompute worker 00 tasks = %v, %v; want 1", v, ok)
+	}
+	if v, ok := snap.Value("ogdp_pool_tasks_total", "pool", "precompute", "worker", "01"); !ok || v != 1 {
+		t.Errorf("precompute worker 01 tasks = %v, %v; want 1", v, ok)
+	}
+}

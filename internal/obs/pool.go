@@ -6,9 +6,10 @@ import (
 )
 
 // PoolStats records worker-pool telemetry — batch sizes, per-worker
-// task counts, and the observed queue depth — into a registry. It
-// implements internal/parallel's Observer interface structurally, so
-// parallel never imports obs.
+// task counts, and the observed queue depth, all labeled by the pool
+// name the dispatching stage attached via parallel.WithPool — into a
+// registry. It implements internal/parallel's Observer interface
+// structurally, so parallel never imports obs.
 //
 // This telemetry is scheduling-dependent by nature (which worker ran
 // a task, how deep the queue was when it finished), so it sits
@@ -16,57 +17,82 @@ import (
 // installs a PoolStats when the operator asks for diagnostics
 // (-trace), never in the default -metrics mode.
 type PoolStats struct {
+	mu      sync.Mutex
+	series  map[string]*poolSeries
+	workers map[string]*Counter // keyed by pool + "\x00" + worker
+	reg     *Registry
+}
+
+// poolSeries holds one pool's labeled metrics.
+type poolSeries struct {
 	batches *Counter
 	tasks   *Histogram
 	depth   *Gauge
-
-	mu        sync.Mutex
-	perWorker map[int]*Counter
-	reg       *Registry
 }
 
 // NewPoolStats creates pool telemetry backed by r.
 func NewPoolStats(r *Registry) *PoolStats {
 	return &PoolStats{
-		batches: r.Counter("ogdp_pool_batches_total",
-			"worker-pool batches dispatched (ForEach/Map calls with work)"),
-		tasks: r.Histogram("ogdp_pool_batch_tasks",
-			"tasks per worker-pool batch", CountBuckets),
-		depth: r.Gauge("ogdp_pool_queue_depth",
-			"unclaimed tasks in the most recently sampled batch"),
-		perWorker: make(map[int]*Counter),
-		reg:       r,
+		series:  make(map[string]*poolSeries),
+		workers: make(map[string]*Counter),
+		reg:     r,
 	}
 }
 
-// PoolStart is called once per batch with the task and worker counts.
-func (p *PoolStats) PoolStart(tasks, workers int) {
+// PoolStart is called once per batch with the pool name and the task
+// and worker counts.
+func (p *PoolStats) PoolStart(pool string, tasks, workers int) {
 	if p == nil {
 		return
 	}
-	p.batches.Inc()
-	p.tasks.Observe(float64(tasks))
+	s := p.pool(pool)
+	s.batches.Inc()
+	s.tasks.Observe(float64(tasks))
 }
 
-// TaskDone is called after each completed task with the index of the
-// worker that ran it and the number of tasks not yet claimed.
-func (p *PoolStats) TaskDone(worker, remaining int) {
+// TaskDone is called after each completed task with the pool name, the
+// index of the worker that ran it, and the number of tasks not yet
+// claimed — the per-pool queue-depth gauge this keeps current.
+func (p *PoolStats) TaskDone(pool string, worker, remaining int) {
 	if p == nil {
 		return
 	}
-	p.workerCounter(worker).Inc()
-	p.depth.Set(float64(remaining))
+	p.pool(pool).depth.Set(float64(remaining))
+	p.workerCounter(pool, worker).Inc()
 }
 
-func (p *PoolStats) workerCounter(worker int) *Counter {
+func (p *PoolStats) pool(pool string) *poolSeries {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	c, ok := p.perWorker[worker]
+	s, ok := p.series[pool]
+	if !ok {
+		s = &poolSeries{
+			batches: p.reg.Counter("ogdp_pool_batches_total",
+				"worker-pool batches dispatched (ForEach/Map calls with work)",
+				"pool", pool),
+			tasks: p.reg.Histogram("ogdp_pool_batch_tasks",
+				"tasks per worker-pool batch", CountBuckets,
+				"pool", pool),
+			depth: p.reg.Gauge("ogdp_pool_queue_depth",
+				"unclaimed tasks in the pool's most recently sampled batch",
+				"pool", pool),
+		}
+		p.series[pool] = s
+	}
+	return s
+}
+
+func (p *PoolStats) workerCounter(pool string, worker int) *Counter {
+	key := pool + "\x00" + fmt.Sprintf("%02d", worker)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.workers[key]
 	if !ok {
 		c = p.reg.Counter("ogdp_pool_tasks_total",
 			"tasks completed per pool worker",
+			"pool", pool,
 			"worker", fmt.Sprintf("%02d", worker))
-		p.perWorker[worker] = c
+		p.workers[key] = c
 	}
 	return c
 }

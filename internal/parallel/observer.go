@@ -12,12 +12,14 @@ import "sync/atomic"
 // into anything covered by the byte-identical snapshot contract.
 type Observer interface {
 	// PoolStart is called once per ForEach/Map batch that dispatches
-	// work, with the task count and the worker count actually used.
-	PoolStart(tasks, workers int)
-	// TaskDone is called after each completed task with the 0-based
-	// index of the worker that ran it (the sequential fast path is
-	// worker 0) and the number of tasks not yet claimed.
-	TaskDone(worker, remaining int)
+	// work, with the batch's pool name (see WithPool; "anon" when the
+	// context carries none), the task count, and the worker count
+	// actually used.
+	PoolStart(pool string, tasks, workers int)
+	// TaskDone is called after each completed task with the pool name,
+	// the 0-based index of the worker that ran it (the sequential fast
+	// path is worker 0), and the number of tasks not yet claimed.
+	TaskDone(pool string, worker, remaining int)
 }
 
 // observer holds the installed Observer; atomic so installation never

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// recordingObserver captures the pool names and counts handed to the
+// observer callbacks.
+type recordingObserver struct {
+	mu     sync.Mutex
+	starts []string
+	tasks  int
+	dones  map[string]int
+}
+
+func (r *recordingObserver) PoolStart(pool string, tasks, workers int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.starts = append(r.starts, pool)
+	r.tasks = tasks
+}
+
+func (r *recordingObserver) TaskDone(pool string, worker, remaining int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dones == nil {
+		r.dones = map[string]int{}
+	}
+	r.dones[pool]++
+}
+
+func TestPoolNameDefaultsToAnon(t *testing.T) {
+	if got := PoolName(context.Background()); got != "anon" {
+		t.Errorf("PoolName(background) = %q, want anon", got)
+	}
+	if got := PoolName(WithPool(context.Background(), "fd")); got != "fd" {
+		t.Errorf("PoolName(WithPool) = %q", got)
+	}
+	if got := PoolName(WithPool(context.Background(), "")); got != "anon" {
+		t.Errorf(`PoolName(WithPool "") = %q, want anon`, got)
+	}
+}
+
+// TestObserverReceivesPoolName checks both the sequential fast path
+// (workers=1) and the pooled path attribute their batches to the
+// WithPool name.
+func TestObserverReceivesPoolName(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rec := &recordingObserver{}
+		SetObserver(rec)
+		const n = 50
+		err := ForEach(WithPool(context.Background(), "precompute"), n, workers, func(i int) {})
+		SetObserver(nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rec.starts) != 1 || rec.starts[0] != "precompute" || rec.tasks != n {
+			t.Errorf("workers=%d: PoolStart saw %v (tasks=%d), want one precompute batch of %d",
+				workers, rec.starts, rec.tasks, n)
+		}
+		if rec.dones["precompute"] != n {
+			t.Errorf("workers=%d: %d TaskDone events for pool, want %d",
+				workers, rec.dones["precompute"], n)
+		}
+	}
+}
+
+func TestMustPassesNilAndPanicsOnError(t *testing.T) {
+	Must(nil) // must not panic
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Must(err) did not panic")
+		}
+	}()
+	Must(errors.New("context canceled"))
+}
+
+func TestMustMapUnwraps(t *testing.T) {
+	got := MustMap(Map(context.Background(), 3, 1, func(i int) int { return i * 2 }))
+	if len(got) != 3 || got[2] != 4 {
+		t.Errorf("MustMap = %v", got)
+	}
+}

@@ -29,6 +29,45 @@ func Workers(n int) int {
 	return n
 }
 
+// poolNameKey carries the pool name set by WithPool through a context.
+type poolNameKey struct{}
+
+// WithPool tags ctx with a pool name, so observer telemetry (batch
+// counts, per-pool queue depth) can attribute ForEach/Map batches to
+// the pipeline stage that dispatched them. The name has no effect on
+// scheduling or results.
+func WithPool(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, poolNameKey{}, name)
+}
+
+// PoolName returns the pool name attached by WithPool, or "anon".
+func PoolName(ctx context.Context) string {
+	if name, ok := ctx.Value(poolNameKey{}).(string); ok && name != "" {
+		return name
+	}
+	return "anon"
+}
+
+// Must panics on a non-nil fan-out error. Study pipelines run their
+// pools under context.Background(), where ForEach/Map can only return
+// a non-nil error if that contract is broken (a cancelable context
+// reached a study pool); panicking loudly there beats silently
+// dropping the error, and worker panics already propagate on their
+// own as *WorkerPanic. Callers that pass a cancelable context must
+// handle the error instead of using Must.
+func Must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("parallel: fan-out under a never-canceled context returned %v", err))
+	}
+}
+
+// MustMap unwraps a Map result the way Must unwraps a ForEach error:
+// use for study fan-outs whose context is never canceled.
+func MustMap[T any](out []T, err error) []T {
+	Must(err)
+	return out
+}
+
 // WorkerPanic carries a panic recovered on a pool goroutine back to
 // the caller, preserving the original value and worker stack.
 type WorkerPanic struct {
@@ -60,8 +99,10 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 		workers = n
 	}
 	obs := currentObserver()
+	pool := ""
 	if obs != nil {
-		obs.PoolStart(n, workers)
+		pool = PoolName(ctx)
+		obs.PoolStart(pool, n, workers)
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
@@ -70,7 +111,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 			}
 			fn(i)
 			if obs != nil {
-				obs.TaskDone(0, n-1-i)
+				obs.TaskDone(pool, 0, n-1-i)
 			}
 		}
 		return nil
@@ -114,7 +155,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 					if remaining < 0 {
 						remaining = 0
 					}
-					obs.TaskDone(worker, remaining)
+					obs.TaskDone(pool, worker, remaining)
 				}
 			}
 		}(w)

@@ -2,6 +2,8 @@ package table
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ogdp/internal/values"
 )
@@ -18,8 +20,12 @@ const (
 // dense code. Codes are assigned by ascending byte order of the raw
 // values, so the encoding is deterministic for a given column content.
 //
-// An Encoding is immutable once built; callers must treat every slice
-// as read-only. Obtain one via Table.Encoding.
+// An Encoding is immutable once published; callers must treat every
+// slice as read-only and may share the value freely across goroutines
+// without synchronization. The only lazily attached extension — the
+// canonical code stream — is published through its own atomic pointer
+// and is itself immutable, so the Encoding never mutates in place.
+// Obtain one via Table.Encoding.
 type Encoding struct {
 	// Dict holds the column's distinct raw values in ascending byte
 	// order; Dict[Codes[r]] recovers the raw cell of row r.
@@ -42,13 +48,22 @@ type Encoding struct {
 	hashes     []uint64
 	hashCounts []int32
 
-	// canon is the lazily built per-row canonical code stream: every
-	// null spelling maps to 0 and the k-th non-null dictionary entry
-	// (in Dict order) maps to k+1. canonSize is the code-space size
-	// (distinct non-null entries + 1), so canon values are always in
-	// [0, canonSize). Built under the owning table's lock.
-	canon     []uint32
-	canonSize int
+	// canon is the lazily built per-row canonical code stream,
+	// published atomically (nil until first use). The stream is built
+	// exactly once under canonMu and never mutated afterwards; readers
+	// only ever load the pointer.
+	canonMu sync.Mutex
+	canon   atomic.Pointer[canonStream]
+}
+
+// canonStream is a column's canonical per-row code stream: every null
+// spelling maps to 0 and the k-th non-null dictionary entry (in Dict
+// order) maps to k+1. size is the code-space size (distinct non-null
+// entries + 1), so codes are always in [0, size). Immutable once
+// published.
+type canonStream struct {
+	codes []uint32
+	size  int
 }
 
 // Nulls returns the number of null cells in the column.
@@ -145,9 +160,30 @@ func (e *Encoding) buildHashes(nonNull int) {
 	e.hashCounts = outC
 }
 
-// materializeCanon builds the canonical code stream; the caller must
-// hold the owning table's lock.
-func (e *Encoding) materializeCanon() {
+// CanonCodes returns the column's canonical per-row codes and code
+// space size, building the stream exactly once on first use. The fast
+// path is a single atomic load; misses serialize on this encoding's
+// build lock only.
+func (e *Encoding) CanonCodes() (codes []uint32, size int) {
+	if cs := e.canon.Load(); cs != nil {
+		return cs.codes, cs.size
+	}
+	done := buildStart(BuildCanon)
+	e.canonMu.Lock()
+	defer e.canonMu.Unlock()
+	if cs := e.canon.Load(); cs != nil {
+		done(false)
+		return cs.codes, cs.size
+	}
+	cs := e.materializeCanon()
+	e.canon.Store(cs)
+	done(true)
+	return cs.codes, cs.size
+}
+
+// materializeCanon builds the canonical code stream. The result is
+// published (and thereby frozen) by the caller.
+func (e *Encoding) materializeCanon() *canonStream {
 	entryCanon := make([]uint32, len(e.Dict))
 	next := uint32(1)
 	for i := range e.Dict {
@@ -162,8 +198,7 @@ func (e *Encoding) materializeCanon() {
 	for r, c := range e.Codes {
 		canon[r] = entryCanon[c]
 	}
-	e.canon = canon
-	e.canonSize = int(next)
+	return &canonStream{codes: canon, size: int(next)}
 }
 
 // hashString is FNV-64a, identical to hash/fnv but allocation-free.
@@ -177,24 +212,42 @@ func hashString(v string) uint64 {
 }
 
 // Encoding returns the cached dictionary encoding of column c,
-// building it on first use. Safe for concurrent use; the column is
-// encoded at most once.
+// building it on first use. The fast path is a single atomic pointer
+// load; after the encoding has been published, concurrent readers
+// never contend on a lock. A cache miss builds the column exactly once
+// under that column's build lock — racing goroutines block only for
+// the duration of the one build and then share the published value.
 func (t *Table) Encoding(c int) *Encoding {
-	t.profMu.Lock()
-	defer t.profMu.Unlock()
-	return t.encodingLocked(c)
+	slot := &t.state().cols[c]
+	if e := slot.enc.Load(); e != nil {
+		return e
+	}
+	return t.buildEncoding(slot, c)
 }
 
-// encodingLocked returns (building if needed) column c's encoding; the
-// caller must hold profMu.
-func (t *Table) encodingLocked(c int) *Encoding {
-	if t.enc == nil {
-		t.enc = make([]*Encoding, len(t.Cols))
+// encodingOf returns column c's encoding given its slot (avoiding a
+// second state() load on slow paths that already resolved it).
+func (t *Table) encodingOf(slot *colSlot, c int) *Encoding {
+	if e := slot.enc.Load(); e != nil {
+		return e
 	}
-	if t.enc[c] == nil {
-		t.enc[c] = encodeColumn(t.Data[c])
+	return t.buildEncoding(slot, c)
+}
+
+// buildEncoding is Encoding's slow path: exactly-once build under the
+// column's lock, then atomic publication.
+func (t *Table) buildEncoding(slot *colSlot, c int) *Encoding {
+	done := buildStart(BuildEncode)
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if e := slot.enc.Load(); e != nil {
+		done(false)
+		return e
 	}
-	return t.enc[c]
+	e := encodeColumn(t.Data[c])
+	slot.enc.Store(e)
+	done(true)
+	return e
 }
 
 // CanonCodes returns column c's canonical per-row codes and the size
@@ -202,15 +255,10 @@ func (t *Table) encodingLocked(c int) *Encoding {
 // distinct non-null value (in ascending raw order) is k+1, so two rows
 // agree on the column exactly when their codes are equal. The slice is
 // shared and must not be mutated. FD partition refinement and row
-// hashing run entirely on these streams.
+// hashing run entirely on these streams; reads are lock-free after the
+// stream's exactly-once build.
 func (t *Table) CanonCodes(c int) (codes []uint32, size int) {
-	t.profMu.Lock()
-	defer t.profMu.Unlock()
-	e := t.encodingLocked(c)
-	if e.canon == nil {
-		e.materializeCanon()
-	}
-	return e.canon, e.canonSize
+	return t.Encoding(c).CanonCodes()
 }
 
 // Value returns the raw cell value of column c, row r.

@@ -1,0 +1,60 @@
+package table
+
+import "sync/atomic"
+
+// Build kinds reported to the BuildObserver, one per lazy cache of
+// the table layer.
+const (
+	BuildEncode    = "encode"    // dictionary encoding of one column
+	BuildProfile   = "profile"   // column profile derived from the encoding
+	BuildCanon     = "canon"     // canonical per-row code stream
+	BuildSchemaKey = "schemakey" // table schema identity
+)
+
+// BuildObserver receives slow-path events from the lazy column
+// caches: every time a goroutine misses a published value and has to
+// take a build lock, BuildStart is called with the cache kind and the
+// returned func is invoked once the value is available — built=true
+// when this goroutine performed the build, false when it merely
+// waited out a racing builder.
+//
+// The observer interface carries no clock: an implementation that
+// wants wait durations times the window between BuildStart and the
+// done call itself (obs.NewEncodeStats does exactly that with an
+// injected clock). Wait times and the waited-event count depend on
+// scheduling, so observers are diagnostic-only — the CLIs install one
+// under -trace, never in the deterministic -metrics mode. The
+// built=true event count, by contrast, is exactly the number of cache
+// builds and is deterministic (exactly once per column per kind).
+type BuildObserver interface {
+	BuildStart(kind string) func(built bool)
+}
+
+// buildObserver holds the installed BuildObserver; atomic so
+// installation never races with running analyses.
+var buildObserver atomic.Value // of buildObsBox
+
+// buildObsBox keeps atomic.Value happy when storing different
+// concrete BuildObserver types (including nil).
+type buildObsBox struct{ o BuildObserver }
+
+// SetBuildObserver installs (or, with nil, removes) the process-wide
+// build observer. Intended to be called once at CLI startup, before
+// any analyses run.
+func SetBuildObserver(o BuildObserver) {
+	buildObserver.Store(buildObsBox{o: o})
+}
+
+// nopDone is returned when no observer is installed, so slow paths
+// never branch on "is observability enabled".
+var nopDone = func(bool) {}
+
+// buildStart notifies the installed observer (if any) that a
+// slow-path build/wait window opened, returning the func to invoke
+// when it closes.
+func buildStart(kind string) func(built bool) {
+	if b, ok := buildObserver.Load().(buildObsBox); ok && b.o != nil {
+		return b.o.BuildStart(kind)
+	}
+	return nopDone
+}

@@ -10,12 +10,37 @@
 // recovers raw values through the dictionary. Direct Data access
 // outside this package and csvio is flagged by the ogdplint rawdata
 // check.
+//
+// # Concurrency and the publication contract
+//
+// Every lazy cache (Encoding, ColumnProfile, canonical code stream,
+// SchemaKey) follows the same build-once/publish-once protocol:
+//
+//   - The read path is lock-free: a single atomic pointer load. Once a
+//     value has been published, readers never touch a mutex again, so
+//     the §4–§6 analyses can hammer the same table from every worker
+//     without serializing.
+//   - The build path is exactly-once: a goroutine that misses the
+//     published pointer takes that column's build lock, re-checks, and
+//     either builds-and-publishes or returns the value a racing
+//     builder published first. Locks are per column, so building
+//     column 3 never blocks a reader (or builder) of column 4.
+//   - Published values are immutable. Encoding slices, canonical code
+//     streams, and profiles must never be written after the atomic
+//     store that publishes them; callers share them freely across
+//     goroutines and must treat them as read-only.
+//
+// Mutation (AppendRow, AppendTable, direct Data writes followed by
+// InvalidateProfiles) still must not overlap with any concurrent
+// access: invalidation swaps in a fresh cache generation but cannot
+// recall values already handed out.
 package table
 
 import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ogdp/internal/values"
 )
@@ -33,10 +58,11 @@ type RaggedCells struct {
 // raw CSV strings; nulls are any value for which values.IsNull is true.
 //
 // Profile, Profiles, Encoding, CanonCodes, SchemaKey, and
-// DistinctCount are safe for concurrent use, so analyses may share a
-// table across goroutines as long as none of them mutates Cols or
-// Data. Mutation (AppendRow, direct Data writes plus
-// InvalidateProfiles) must not overlap with any other access.
+// DistinctCount are safe for concurrent use (lock-free after first
+// publication; see the package comment for the publication contract),
+// so analyses may share a table across goroutines as long as none of
+// them mutates Cols or Data. Mutation (AppendRow, direct Data writes
+// plus InvalidateProfiles) must not overlap with any other access.
 type Table struct {
 	// Name identifies the table (typically the resource file name).
 	Name string
@@ -51,11 +77,43 @@ type Table struct {
 	// Ragged records cells truncated or padded at ingest time.
 	Ragged RaggedCells
 
-	profMu      sync.Mutex       // guards the lazy caches below
-	profiles    []*ColumnProfile // lazily built, indexed like Cols
-	enc         []*Encoding      // lazily built, indexed like Cols
-	schemaKey   string           // lazily built by SchemaKey
-	schemaKeyOK bool
+	initMu sync.Mutex                 // guards st creation and invalidation
+	st     atomic.Pointer[tableState] // current lazy-cache generation
+}
+
+// tableState is one generation of a table's lazy caches. Invalidation
+// publishes a fresh generation instead of clearing slots in place, so
+// readers of the old generation keep a consistent view.
+type tableState struct {
+	cols []colSlot // indexed like Table.Cols
+
+	schemaMu  sync.Mutex // serializes SchemaKey builds
+	schemaKey atomic.Pointer[string]
+}
+
+// colSlot holds one column's published caches plus the build lock that
+// makes each cache exactly-once. The atomic pointers are the only
+// fields readers touch after publication.
+type colSlot struct {
+	mu   sync.Mutex // serializes builds of this column only
+	enc  atomic.Pointer[Encoding]
+	prof atomic.Pointer[ColumnProfile]
+}
+
+// state returns the current cache generation, creating it on first
+// use.
+func (t *Table) state() *tableState {
+	if s := t.st.Load(); s != nil {
+		return s
+	}
+	t.initMu.Lock()
+	defer t.initMu.Unlock()
+	if s := t.st.Load(); s != nil {
+		return s
+	}
+	s := &tableState{cols: make([]colSlot, len(t.Cols))}
+	t.st.Store(s)
+	return s
 }
 
 // New creates an empty table with the given column names.
@@ -144,28 +202,23 @@ func (t *Table) Rows() [][]string {
 
 // Project returns a new table with only the given column indices, in
 // the given order. Data slices are shared with the receiver, and so
-// are any column profiles and encodings already computed (both are
-// immutable once built).
+// are any column profiles and encodings already published (both are
+// immutable, so sharing them across tables is safe).
 func (t *Table) Project(cols []int) *Table {
 	p := &Table{Name: t.Name, DatasetID: t.DatasetID}
-	t.profMu.Lock()
-	for _, c := range cols {
+	src := t.state()
+	ps := &tableState{cols: make([]colSlot, len(cols))}
+	for i, c := range cols {
 		p.Cols = append(p.Cols, t.Cols[c])
 		p.Data = append(p.Data, t.Data[c])
-	}
-	if t.profiles != nil {
-		p.profiles = make([]*ColumnProfile, 0, len(cols))
-		for _, c := range cols {
-			p.profiles = append(p.profiles, t.profiles[c])
+		if e := src.cols[c].enc.Load(); e != nil {
+			ps.cols[i].enc.Store(e)
+		}
+		if pr := src.cols[c].prof.Load(); pr != nil {
+			ps.cols[i].prof.Store(pr)
 		}
 	}
-	if t.enc != nil {
-		p.enc = make([]*Encoding, 0, len(cols))
-		for _, c := range cols {
-			p.enc = append(p.enc, t.enc[c])
-		}
-	}
-	t.profMu.Unlock()
+	p.st.Store(ps)
 	return p
 }
 
@@ -198,7 +251,7 @@ func (t *Table) Clone() *Table {
 }
 
 // ColumnProfile is the cached per-column profile used throughout the
-// study.
+// study. Profiles are immutable once published.
 type ColumnProfile struct {
 	Name     string
 	Type     values.ColumnType
@@ -248,18 +301,33 @@ func (p *ColumnProfile) ValueHashCounts() []int32 { return p.enc.hashCounts }
 func HashValue(v string) uint64 { return hashString(v) }
 
 // Profile returns the cached profile of column c, computing it on
-// first use. Safe for concurrent use; the column is profiled at most
-// once.
+// first use. The fast path is a single atomic load; a cache miss
+// builds the profile exactly once under the column's build lock (see
+// the package comment).
 func (t *Table) Profile(c int) *ColumnProfile {
-	t.profMu.Lock()
-	defer t.profMu.Unlock()
-	if t.profiles == nil {
-		t.profiles = make([]*ColumnProfile, len(t.Cols))
+	slot := &t.state().cols[c]
+	if p := slot.prof.Load(); p != nil {
+		return p
 	}
-	if t.profiles[c] == nil {
-		t.profiles[c] = profileColumn(t.Cols[c], t.encodingLocked(c))
+	return t.buildProfile(slot, c)
+}
+
+// buildProfile is Profile's slow path. The encoding is obtained first
+// (it has its own exactly-once protocol on the same slot lock), then
+// the profile is derived and published under the lock.
+func (t *Table) buildProfile(slot *colSlot, c int) *ColumnProfile {
+	e := t.encodingOf(slot, c)
+	done := buildStart(BuildProfile)
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if p := slot.prof.Load(); p != nil {
+		done(false)
+		return p
 	}
-	return t.profiles[c]
+	p := profileColumn(t.Cols[c], e)
+	slot.prof.Store(p)
+	done(true)
+	return p
 }
 
 // Profiles returns profiles for every column.
@@ -286,29 +354,32 @@ func profileColumn(name string, e *Encoding) *ColumnProfile {
 }
 
 // InvalidateProfiles drops cached column profiles, encodings, and the
-// schema key; call after mutating Data directly.
+// schema key by publishing a fresh cache generation; call after
+// mutating Data directly. Values handed out before the invalidation
+// stay valid for (stale) readers but are never returned again.
 func (t *Table) InvalidateProfiles() {
-	t.profMu.Lock()
-	t.profiles = nil
-	t.enc = nil
-	t.schemaKey = ""
-	t.schemaKeyOK = false
-	t.profMu.Unlock()
+	t.initMu.Lock()
+	t.st.Store(&tableState{cols: make([]colSlot, len(t.Cols))})
+	t.initMu.Unlock()
 }
 
 // SchemaKey returns the canonical schema identity used for the
 // unionability analysis (§6): the ordered, case-folded column names
 // joined with the columns' broad type classes. Two tables are
 // unionable exactly when their SchemaKeys are equal. The key is
-// computed once and cached.
+// computed exactly once and read lock-free afterwards.
 func (t *Table) SchemaKey() string {
-	t.profMu.Lock()
-	if t.schemaKeyOK {
-		k := t.schemaKey
-		t.profMu.Unlock()
-		return k
+	s := t.state()
+	if k := s.schemaKey.Load(); k != nil {
+		return *k
 	}
-	t.profMu.Unlock()
+	done := buildStart(BuildSchemaKey)
+	s.schemaMu.Lock()
+	defer s.schemaMu.Unlock()
+	if k := s.schemaKey.Load(); k != nil {
+		done(false)
+		return *k
+	}
 	var b strings.Builder
 	for c, name := range t.Cols {
 		if c > 0 {
@@ -319,10 +390,8 @@ func (t *Table) SchemaKey() string {
 		b.WriteString(t.Profile(c).Type.BroadClass())
 	}
 	key := b.String()
-	t.profMu.Lock()
-	t.schemaKey = key
-	t.schemaKeyOK = true
-	t.profMu.Unlock()
+	s.schemaKey.Store(&key)
+	done(true)
 	return key
 }
 

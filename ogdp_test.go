@@ -115,6 +115,41 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReportBytesIdenticalAcrossWorkers renders the full paper report
+// from a sequential and a heavily oversubscribed study run; the bytes
+// must match exactly. This drives the whole pipeline through the
+// public facade — including the per-column precompute fan-out, the
+// fused keys+FD pass, and the lock-free table caches — so any
+// scheduling dependence anywhere in the study surfaces as a diff here.
+func TestReportBytesIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study run")
+	}
+	render := func(workers int) string {
+		res := RunStudy(StudyOptions{
+			Scale: 0.04, Seed: 3, Workers: workers,
+			MaxFDTables: 10, SamplePerCell: 2, UnionSamples: 4,
+		})
+		var buf bytes.Buffer
+		WriteReport(&buf, res)
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		i := 0
+		for i < len(seq) && i < len(par) && seq[i] == par[i] {
+			i++
+		}
+		lo := i - 60
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("report bytes differ between Workers=1 and Workers=8 at offset %d:\nseq: …%q\npar: …%q",
+			i, seq[lo:min(i+60, len(seq))], par[lo:min(i+60, len(par))])
+	}
+}
+
 func TestRunStudyAndReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("study run")
