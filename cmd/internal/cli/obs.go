@@ -1,12 +1,10 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"log"
-	"net"
-	"net/http"
 	"os"
 	"time"
 
@@ -35,8 +33,9 @@ type Obs struct {
 	trace       bool
 	debugAddr   string
 
-	reg  *obs.Registry
-	root *obs.Span
+	reg   *obs.Registry
+	root  *obs.Span
+	debug *HTTPServer
 }
 
 // StandardObs registers -metrics, -metrics-json, and -trace on the
@@ -63,8 +62,10 @@ func (o *Obs) EnableDebugServer() *Obs {
 
 // Start initializes the registry and root span according to the
 // parsed flags and, when -debug-addr was given, starts the debug
-// server. Call once, after flag.Parse.
-func (o *Obs) Start(root string) {
+// server. Call once, after flag.Parse. The debug server's lifecycle
+// is owned here: its serve error surfaces through Finish (it is not
+// dropped on a goroutine), and Finish shuts its listener down.
+func (o *Obs) Start(root string) error {
 	o.reg = obs.NewRegistry()
 	if o.trace {
 		o.root = obs.NewTimedTrace(root, time.Now)
@@ -74,13 +75,14 @@ func (o *Obs) Start(root string) {
 		o.root = obs.NewTrace(root)
 	}
 	if o.debugAddr != "" {
-		ln, err := net.Listen("tcp", o.debugAddr)
+		srv, err := StartHTTP(o.debugAddr, obs.NewDebugHandler(o.reg))
 		if err != nil {
-			log.Fatalf("debug server: %v", err)
+			return fmt.Errorf("debug server: %w", err)
 		}
-		go http.Serve(ln, obs.NewDebugHandler(o.reg))
-		fmt.Fprintf(os.Stderr, "debug server at http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+		o.debug = srv
+		fmt.Fprintf(os.Stderr, "debug server at http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
+	return nil
 }
 
 // Registry returns the run's metrics registry (non-nil after Start).
@@ -101,10 +103,12 @@ func (o *Obs) Clock() func() time.Time {
 
 // Finish ends the root span and emits whatever the flags asked for:
 // the stage tree plus text snapshot on w under -metrics, and the JSON
-// snapshot to -metrics-json's destination. Call once, after the run.
-func (o *Obs) Finish(w io.Writer) {
+// snapshot to -metrics-json's destination. It also shuts down the
+// -debug-addr server, surfacing any error its serve loop died with.
+// Call once, after the run; the caller decides how fatal an error is.
+func (o *Obs) Finish(w io.Writer) error {
 	if o.reg == nil {
-		return // Start was never called: no flags armed
+		return nil // Start was never called: no flags armed
 	}
 	o.root.End()
 	if o.metrics {
@@ -114,17 +118,36 @@ func (o *Obs) Finish(w io.Writer) {
 		o.reg.Snapshot().WriteText(w)
 	}
 	if o.metricsJSON != "" {
-		out := w
-		if o.metricsJSON != "-" {
-			f, err := os.Create(o.metricsJSON)
-			if err != nil {
-				log.Fatalf("metrics-json: %v", err)
-			}
-			defer f.Close()
-			out = f
-		}
-		if err := o.reg.Snapshot().WriteJSON(out); err != nil {
-			log.Fatalf("metrics-json: %v", err)
+		if err := o.writeMetricsJSON(w); err != nil {
+			return fmt.Errorf("metrics-json: %w", err)
 		}
 	}
+	if o.debug != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := o.debug.Shutdown(ctx); err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		o.debug = nil
+	}
+	return nil
+}
+
+// writeMetricsJSON writes the snapshot to the -metrics-json
+// destination, closing (and flushing) the file on the error path too —
+// the old log.Fatalf exit used to skip the deferred Close.
+func (o *Obs) writeMetricsJSON(w io.Writer) error {
+	if o.metricsJSON == "-" {
+		return o.reg.Snapshot().WriteJSON(w)
+	}
+	f, err := os.Create(o.metricsJSON)
+	if err != nil {
+		return err
+	}
+	werr := o.reg.Snapshot().WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }

@@ -1,0 +1,164 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartHTTPServesAndShutdownClosesListener(t *testing.T) {
+	srv, err := StartHTTP("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "pong")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatalf("GET before shutdown: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("body = %q", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The listener must actually be closed: the port can be re-bound.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Shutdown: %v", err)
+	}
+	ln.Close()
+}
+
+func TestShutdownDrainsInflightRequests(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv, err := StartHTTP("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr().String() + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the in-flight request, not kill it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v before the in-flight request finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request: body=%q err=%v", r.body, r.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown after drain: %v", err)
+	}
+}
+
+func TestObsStartBadDebugAddrReturnsError(t *testing.T) {
+	o := &Obs{debugAddr: "127.0.0.1:-1"}
+	if err := o.Start("test"); err == nil {
+		t.Fatal("Start with an unbindable -debug-addr must return an error")
+	} else if !strings.Contains(err.Error(), "debug server") {
+		t.Errorf("error %q does not name the debug server", err)
+	}
+}
+
+func TestObsDebugServerLifecycle(t *testing.T) {
+	o := &Obs{debugAddr: "127.0.0.1:0"}
+	if err := o.Start("test"); err != nil {
+		t.Fatal(err)
+	}
+	addr := o.debug.Addr().String()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if err := o.Finish(io.Discard); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("debug port not released after Finish: %v", err)
+	}
+	ln.Close()
+}
+
+func TestFinishMetricsJSONErrorReturnedNotFatal(t *testing.T) {
+	o := &Obs{metricsJSON: filepath.Join(t.TempDir(), "no-such-dir", "m.json")}
+	if err := o.Start("test"); err != nil {
+		t.Fatal(err)
+	}
+	// Before the fix this path called log.Fatalf and killed the
+	// process (skipping the deferred file close); now it reports.
+	if err := o.Finish(io.Discard); err == nil {
+		t.Fatal("Finish with an uncreatable -metrics-json path must return an error")
+	} else if !strings.Contains(err.Error(), "metrics-json") {
+		t.Errorf("error %q does not name metrics-json", err)
+	}
+}
+
+func TestFinishMetricsJSONWritesValidSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	o := &Obs{metricsJSON: path}
+	if err := o.Start("test"); err != nil {
+		t.Fatal(err)
+	}
+	o.Registry().Counter("test_total", "Test counter.").Inc()
+	if err := o.Finish(io.Discard); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, data)
+	}
+}

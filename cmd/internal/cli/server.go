@@ -1,0 +1,79 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTPServer is a running http.Server bound to a live listener, with
+// the lifecycle the long-running tools need and the one-shot tools
+// used to get wrong: the Serve error is surfaced (not dropped on a
+// bare goroutine) and the listener is closed through Shutdown on
+// exit, draining in-flight requests first. Both the -debug-addr
+// observability endpoint (Obs.Start) and ogdpserve's query service
+// run through it.
+type HTTPServer struct {
+	srv     *http.Server
+	ln      net.Listener
+	serveCh chan error // receives Serve's return exactly once
+}
+
+// StartHTTP binds addr and starts serving h on a background
+// goroutine. The returned server is already accepting connections;
+// its Serve error is delivered on ServeErr instead of being
+// discarded. Pass addr with port 0 to let the kernel pick, then read
+// the bound address back with Addr.
+func StartHTTP(addr string, h http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	s := &HTTPServer{
+		srv:     &http.Server{Handler: h},
+		ln:      ln,
+		serveCh: make(chan error, 1),
+	}
+	go func() { s.serveCh <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *HTTPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// ServeErr delivers the Serve loop's terminal error. It fires at most
+// once: after a clean Shutdown the http.ErrServerClosed sentinel is
+// consumed by Shutdown itself, so a receive here always means the
+// accept loop died on its own (port stolen, listener broken) and the
+// process should treat it as fatal.
+func (s *HTTPServer) ServeErr() <-chan error { return s.serveCh }
+
+// Shutdown stops accepting new connections, waits for in-flight
+// requests to drain (bounded by ctx), closes the listener, and joins
+// the serve goroutine. The expected http.ErrServerClosed is folded to
+// nil; anything else — a drain timeout or a Serve loop that failed
+// before shutdown — comes back as the error.
+func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	shutErr := s.srv.Shutdown(ctx)
+	// Serve returns promptly once Shutdown closes the listener; the
+	// timer only guards a pathologically wedged accept loop.
+	var serveErr error
+	select {
+	case serveErr = <-s.serveCh:
+	case <-time.After(5 * time.Second):
+		serveErr = errors.New("serve goroutine did not exit after shutdown")
+	}
+	if errors.Is(serveErr, http.ErrServerClosed) {
+		serveErr = nil
+	}
+	if shutErr != nil {
+		return fmt.Errorf("http shutdown: %w", shutErr)
+	}
+	if serveErr != nil {
+		return fmt.Errorf("http serve: %w", serveErr)
+	}
+	return nil
+}

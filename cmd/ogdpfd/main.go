@@ -28,7 +28,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
 	ob := cli.StandardObs().EnableDebugServer()
 	flag.Parse()
-	ob.Start("ogdpfd")
+	if err := ob.Start("ogdpfd"); err != nil {
+		log.Fatal(err)
+	}
 
 	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
@@ -44,5 +46,7 @@ func main() {
 	report.Table5(os.Stdout, res)
 	report.Figure7(os.Stdout, res)
 	sw.PrintCompleted(os.Stdout)
-	ob.Finish(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -46,7 +46,9 @@ func main() {
 	latency := flag.Duration("latency", 0, "inject this much latency per response")
 	ob := cli.StandardObs().EnableDebugServer()
 	flag.Parse()
-	ob.Start("ogdpfetch")
+	if err := ob.Start("ogdpfetch"); err != nil {
+		log.Fatal(err)
+	}
 
 	prof, ok := gen.ProfileByName(*portal)
 	if !ok {
@@ -118,7 +120,9 @@ func main() {
 		cols += ft.Table.NumCols()
 	}
 	fmt.Printf("parsed: %d tables, %d columns, %d rows in %s\n", len(tables), cols, rows, sw)
-	ob.Finish(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 
 	if *serve != "" {
 		fmt.Printf("serving until interrupted: try %s/api/3/action/package_list\n", base)

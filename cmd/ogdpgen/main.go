@@ -30,7 +30,9 @@ func main() {
 	out := flag.String("out", "", "output directory (required)")
 	ob := cli.StandardObs()
 	flag.Parse()
-	ob.Start("ogdpgen")
+	if err := ob.Start("ogdpgen"); err != nil {
+		log.Fatal(err)
+	}
 
 	if *out == "" {
 		log.Fatal("-out directory is required")
@@ -53,5 +55,7 @@ func main() {
 	fmt.Printf("wrote %d datasets, %d tables (%.1f MiB) to %s\n",
 		st.Datasets, st.Tables, float64(st.Bytes)/(1<<20), *out)
 	sw.PrintCompleted(os.Stdout)
-	ob.Finish(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -39,7 +39,9 @@ func main() {
 	topJoins := flag.Int("top-joins", 5, "ranked join suggestions to print")
 	ob := cli.StandardObs()
 	flag.Parse()
-	ob.Start("ogdpinspect")
+	if err := ob.Start("ogdpinspect"); err != nil {
+		log.Fatal(err)
+	}
 	if *dir == "" {
 		log.Fatal("-dir is required")
 	}
@@ -75,7 +77,9 @@ func main() {
 		span.End()
 	}
 	sw.PrintCompleted(os.Stdout)
-	ob.Finish(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func printProfile(tables []*table.Table) {

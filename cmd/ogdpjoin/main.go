@@ -30,7 +30,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
 	ob := cli.StandardObs().EnableDebugServer()
 	flag.Parse()
-	ob.Start("ogdpjoin")
+	if err := ob.Start("ogdpjoin"); err != nil {
+		log.Fatal(err)
+	}
 
 	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
@@ -51,5 +53,7 @@ func main() {
 	report.Table10(os.Stdout, res)
 	report.PredictorReport(os.Stdout, res)
 	sw.PrintCompleted(os.Stdout)
-	ob.Finish(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -36,7 +36,9 @@ func main() {
 	list := flag.Bool("list", false, "list registered checks and exit")
 	ob := cli.StandardObs()
 	flag.Parse()
-	ob.Start("ogdplint")
+	if err := ob.Start("ogdplint"); err != nil {
+		log.Fatal(err)
+	}
 
 	if *list {
 		for _, c := range analyze.Checks() {
@@ -81,7 +83,9 @@ func main() {
 		fmt.Println(f.RelativeTo(cwd))
 		printed++
 	}
-	ob.Finish(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 	if printed > 0 {
 		log.Fatalf("%d finding(s)", printed)
 	}

@@ -1,0 +1,456 @@
+// Command ogdploadgen stress-tests a running ogdpserve instance with
+// a mixed query workload and reports throughput and latency
+// percentiles.
+//
+// Usage:
+//
+//	ogdpserve -dir ./corpus-sg -addr 127.0.0.1:8080 &
+//	ogdploadgen -addr http://127.0.0.1:8080 -duration 30s -workers 8 \
+//	    -mix join=4,union=2,profile=2,fd=1 -out BENCH_serve.json
+//
+// The generator first fetches /tables and probes each endpoint per
+// table once, so the timed run only issues queries the corpus can
+// answer (a table whose columns never reach the join-eligibility bar
+// is excluded from /join picks rather than counted as a failure).
+// Each worker then runs a seeded closed loop — or an open loop when
+// -push-interval sets a per-worker pacing delay — drawing endpoints
+// from the -mix weights and tables uniformly. 429 responses count as
+// rejected (backpressure working as designed), anything else but 200
+// counts as failed. The report lands in -out as JSON: per-endpoint
+// and total request counts, cache hits observed via X-Ogdp-Cache,
+// and p50/p90/p99/max latency in milliseconds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ogdploadgen: ")
+
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the ogdpserve instance")
+	duration := flag.Duration("duration", 30*time.Second, "how long to push load")
+	workers := flag.Int("workers", 8, "concurrent client workers")
+	pushInterval := flag.Duration("push-interval", 0, "per-worker delay between requests (0 = closed loop)")
+	reportInterval := flag.Duration("report-interval", 5*time.Second, "progress line cadence on stderr (0 disables)")
+	mix := flag.String("mix", "join=4,union=2,profile=2,fd=1", "endpoint weights, comma-separated kind=weight")
+	k := flag.Int("k", 5, "k parameter for /join and /union queries")
+	seed := flag.Int64("seed", 1, "workload seed (per-worker streams derive from it)")
+	out := flag.String("out", "BENCH_serve.json", `report file ("-" = stdout only)`)
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	weights, err := parseMix(*mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	inv, err := fetchTables(client, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("server %s: portal %s, corpus %s, %d tables",
+		base, inv.Portal, inv.Corpus, inv.NumTables)
+
+	targets := probeTargets(client, base, inv, *k, weights)
+	var kinds []string
+	for _, kind := range []string{"join", "union", "profile", "fd"} {
+		if weights[kind] > 0 && len(targets[kind]) > 0 {
+			kinds = append(kinds, kind)
+		} else if weights[kind] > 0 {
+			log.Printf("dropping %s from the mix: no eligible table answered the probe", kind)
+		}
+	}
+	if len(kinds) == 0 {
+		log.Fatal("no endpoint in the mix has an eligible table")
+	}
+
+	run := runLoad(client, base, loadSpec{
+		kinds:        kinds,
+		weights:      weights,
+		targets:      targets,
+		k:            *k,
+		workers:      *workers,
+		duration:     *duration,
+		pushInterval: *pushInterval,
+		report:       *reportInterval,
+		seed:         *seed,
+	})
+
+	rep := buildReport(run, *addr, inv, *mix, *k, *seed, *workers, *pushInterval)
+	printSummary(os.Stdout, rep)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		werr := enc.Encode(rep)
+		cerr := f.Close()
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		log.Printf("report written to %s", *out)
+	}
+	if rep.Totals.Failed > 0 {
+		log.Fatalf("%d requests failed", rep.Totals.Failed)
+	}
+}
+
+// parseMix turns "join=4,union=2" into weight-by-kind.
+func parseMix(s string) (map[string]int, error) {
+	weights := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want kind=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		switch kind {
+		case "join", "union", "profile", "fd":
+			weights[kind] = w
+		default:
+			return nil, fmt.Errorf("unknown -mix kind %q", kind)
+		}
+	}
+	return weights, nil
+}
+
+// inventory is the subset of ogdpserve's /tables document the
+// generator needs.
+type inventory struct {
+	Portal    string `json:"portal"`
+	Corpus    string `json:"corpus_hash"`
+	NumTables int    `json:"num_tables"`
+	Tables    []struct {
+		Name string   `json:"name"`
+		Rows int      `json:"rows"`
+		Cols []string `json:"cols"`
+	} `json:"tables"`
+}
+
+func fetchTables(client *http.Client, base string) (*inventory, error) {
+	resp, err := client.Get(base + "/tables")
+	if err != nil {
+		return nil, fmt.Errorf("fetch /tables: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch /tables: status %d", resp.StatusCode)
+	}
+	var inv inventory
+	if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil {
+		return nil, fmt.Errorf("decode /tables: %w", err)
+	}
+	if len(inv.Tables) == 0 {
+		return nil, fmt.Errorf("server inventory is empty")
+	}
+	return &inv, nil
+}
+
+// probeTargets asks each endpoint about each table once and keeps the
+// tables that answered 200, so the timed run never counts a
+// structurally unanswerable query (table with no join-eligible
+// column, too-wide FD input) as a server failure. The probes also
+// warm the server's result cache, which the timed run then exercises.
+func probeTargets(client *http.Client, base string, inv *inventory, k int, weights map[string]int) map[string][]string {
+	targets := map[string][]string{}
+	for _, kind := range []string{"join", "union", "profile", "fd"} {
+		if weights[kind] == 0 {
+			continue
+		}
+		for _, t := range inv.Tables {
+			resp, err := client.Get(queryURL(base, kind, t.Name, k))
+			if err != nil {
+				log.Fatalf("probe %s for %s: %v", kind, t.Name, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				targets[kind] = append(targets[kind], t.Name)
+			}
+		}
+	}
+	return targets
+}
+
+func queryURL(base, kind, table string, k int) string {
+	v := url.Values{"table": {table}}
+	if kind == "join" || kind == "union" {
+		v.Set("k", strconv.Itoa(k))
+	}
+	return base + "/" + kind + "?" + v.Encode()
+}
+
+type loadSpec struct {
+	kinds        []string
+	weights      map[string]int
+	targets      map[string][]string
+	k            int
+	workers      int
+	duration     time.Duration
+	pushInterval time.Duration
+	report       time.Duration
+	seed         int64
+}
+
+// endpointTally accumulates one endpoint's outcomes; latencies are
+// kept for successful requests only.
+type endpointTally struct {
+	Requests  int
+	OK        int
+	Rejected  int
+	Failed    int
+	CacheHits int
+	Latencies []time.Duration
+}
+
+type runResult struct {
+	byKind  map[string]*endpointTally
+	elapsed time.Duration
+}
+
+func runLoad(client *http.Client, base string, spec loadSpec) *runResult {
+	// picks flattens the mix weights into a slice to draw from
+	// uniformly: join=4,fd=1 yields four "join" entries and one "fd".
+	var picks []string
+	for _, kind := range spec.kinds {
+		for i := 0; i < spec.weights[kind]; i++ {
+			picks = append(picks, kind)
+		}
+	}
+	var done, okN, rejN, failN atomic.Int64
+	stop := make(chan struct{})
+	if spec.report > 0 {
+		go func() {
+			tick := time.NewTicker(spec.report)
+			defer tick.Stop()
+			start := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					log.Printf("t=%s requests=%d ok=%d rejected=%d failed=%d",
+						time.Since(start).Round(time.Second), done.Load(), okN.Load(), rejN.Load(), failN.Load())
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	deadline := start.Add(spec.duration)
+	perWorker := make([]map[string]*endpointTally, spec.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < spec.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.seed + int64(w)))
+			tally := map[string]*endpointTally{}
+			perWorker[w] = tally
+			for time.Now().Before(deadline) {
+				kind := picks[rng.Intn(len(picks))]
+				tables := spec.targets[kind]
+				table := tables[rng.Intn(len(tables))]
+				t0 := time.Now()
+				resp, err := client.Get(queryURL(base, kind, table, spec.k))
+				lat := time.Since(t0)
+				et := tally[kind]
+				if et == nil {
+					et = &endpointTally{}
+					tally[kind] = et
+				}
+				et.Requests++
+				done.Add(1)
+				if err != nil {
+					et.Failed++
+					failN.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				cache := resp.Header.Get("X-Ogdp-Cache")
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					et.OK++
+					okN.Add(1)
+					et.Latencies = append(et.Latencies, lat)
+					if cache == "hit" {
+						et.CacheHits++
+					}
+				case http.StatusTooManyRequests:
+					et.Rejected++
+					rejN.Add(1)
+				default:
+					et.Failed++
+					failN.Add(1)
+				}
+				if spec.pushInterval > 0 {
+					time.Sleep(spec.pushInterval)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	merged := map[string]*endpointTally{}
+	for _, tally := range perWorker {
+		for _, kind := range spec.kinds {
+			et := tally[kind]
+			if et == nil {
+				continue
+			}
+			m := merged[kind]
+			if m == nil {
+				m = &endpointTally{}
+				merged[kind] = m
+			}
+			m.Requests += et.Requests
+			m.OK += et.OK
+			m.Rejected += et.Rejected
+			m.Failed += et.Failed
+			m.CacheHits += et.CacheHits
+			m.Latencies = append(m.Latencies, et.Latencies...)
+		}
+	}
+	return &runResult{byKind: merged, elapsed: time.Since(start)}
+}
+
+// BenchEndpoint is one endpoint's (or the total's) slice of the
+// BENCH_serve.json report.
+type BenchEndpoint struct {
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Rejected  int     `json:"rejected"`
+	Failed    int     `json:"failed"`
+	CacheHits int     `json:"cache_hits"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+// BenchReport is the BENCH_serve.json document.
+type BenchReport struct {
+	Addr            string                   `json:"addr"`
+	Portal          string                   `json:"portal"`
+	CorpusHash      string                   `json:"corpus_hash"`
+	NumTables       int                      `json:"num_tables"`
+	Workers         int                      `json:"workers"`
+	Mix             string                   `json:"mix"`
+	K               int                      `json:"k"`
+	Seed            int64                    `json:"seed"`
+	PushIntervalMs  float64                  `json:"push_interval_ms"`
+	DurationSeconds float64                  `json:"duration_seconds"`
+	ThroughputRPS   float64                  `json:"throughput_rps"`
+	Totals          BenchEndpoint            `json:"totals"`
+	Endpoints       map[string]BenchEndpoint `json:"endpoints"`
+}
+
+func buildReport(run *runResult, addr string, inv *inventory, mix string, k int, seed int64, workers int, push time.Duration) *BenchReport {
+	rep := &BenchReport{
+		Addr:            addr,
+		Portal:          inv.Portal,
+		CorpusHash:      inv.Corpus,
+		NumTables:       inv.NumTables,
+		Workers:         workers,
+		Mix:             mix,
+		K:               k,
+		Seed:            seed,
+		PushIntervalMs:  float64(push) / float64(time.Millisecond),
+		DurationSeconds: run.elapsed.Seconds(),
+		Endpoints:       map[string]BenchEndpoint{},
+	}
+	var kinds []string
+	for kind := range run.byKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	var allLat []time.Duration
+	for _, kind := range kinds {
+		et := run.byKind[kind]
+		rep.Endpoints["/"+kind] = summarize(et)
+		rep.Totals.Requests += et.Requests
+		rep.Totals.OK += et.OK
+		rep.Totals.Rejected += et.Rejected
+		rep.Totals.Failed += et.Failed
+		rep.Totals.CacheHits += et.CacheHits
+		allLat = append(allLat, et.Latencies...)
+	}
+	total := summarize(&endpointTally{Latencies: allLat})
+	rep.Totals.P50Ms, rep.Totals.P90Ms = total.P50Ms, total.P90Ms
+	rep.Totals.P99Ms, rep.Totals.MaxMs = total.P99Ms, total.MaxMs
+	if run.elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Totals.Requests) / run.elapsed.Seconds()
+	}
+	return rep
+}
+
+func summarize(et *endpointTally) BenchEndpoint {
+	be := BenchEndpoint{
+		Requests:  et.Requests,
+		OK:        et.OK,
+		Rejected:  et.Rejected,
+		Failed:    et.Failed,
+		CacheHits: et.CacheHits,
+	}
+	if len(et.Latencies) == 0 {
+		return be
+	}
+	lat := make([]time.Duration, len(et.Latencies))
+	copy(lat, et.Latencies)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+	be.P50Ms = ms(pct(0.50))
+	be.P90Ms = ms(pct(0.90))
+	be.P99Ms = ms(pct(0.99))
+	be.MaxMs = ms(lat[len(lat)-1])
+	return be
+}
+
+func printSummary(w io.Writer, rep *BenchReport) {
+	fmt.Fprintf(w, "load run against %s (corpus %s): %d requests in %.1fs (%.1f req/s)\n",
+		rep.Addr, rep.CorpusHash, rep.Totals.Requests, rep.DurationSeconds, rep.ThroughputRPS)
+	fmt.Fprintf(w, "  ok=%d rejected=%d failed=%d cache-hits=%d\n",
+		rep.Totals.OK, rep.Totals.Rejected, rep.Totals.Failed, rep.Totals.CacheHits)
+	var kinds []string
+	for kind := range rep.Endpoints {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		be := rep.Endpoints[kind]
+		fmt.Fprintf(w, "  %-9s n=%-6d p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+			kind, be.OK, be.P50Ms, be.P90Ms, be.P99Ms, be.MaxMs)
+	}
+}

@@ -29,7 +29,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
 	ob := cli.StandardObs()
 	flag.Parse()
-	ob.Start("ogdpprofile")
+	if err := ob.Start("ogdpprofile"); err != nil {
+		log.Fatal(err)
+	}
 
 	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
@@ -53,5 +55,7 @@ func main() {
 	report.Figure5(os.Stdout, res)
 	report.Table4(os.Stdout, res)
 	sw.PrintCompleted(os.Stdout)
-	ob.Finish(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

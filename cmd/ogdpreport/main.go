@@ -38,7 +38,9 @@ func main() {
 	dir := flag.String("dir", "", "run the study over an on-disk corpus instead of generating one")
 	ob := cli.StandardObs()
 	flag.Parse()
-	ob.Start("ogdpreport")
+	if err := ob.Start("ogdpreport"); err != nil {
+		log.Fatal(err)
+	}
 
 	opts := core.Options{
 		Scale:       *scale,
@@ -66,6 +68,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if dc, ok := src.(*diskcorpus.Corpus); ok {
+			for _, s := range dc.Skips {
+				log.Printf("skipped %s", s)
+			}
+		}
 		res = &core.StudyResult{Options: opts, Portals: []core.PortalResult{core.RunPortal(src, opts)}}
 	} else {
 		res = core.Run(gen.Profiles(), opts)
@@ -74,5 +81,7 @@ func main() {
 	report.Summary(os.Stdout, res)
 	fmt.Printf("\nfull study completed in %s (scale %.2f, seed %d)\n",
 		sw, *scale, *seed)
-	ob.Finish(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

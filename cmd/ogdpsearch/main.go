@@ -1,17 +1,25 @@
-// Command ogdpsearch runs query-table discovery over a directory of
-// CSV files: given a query table (and optionally a column), it prints
-// the top-k joinable columns by exact value overlap (the JOSIE-style
-// operation behind Auctus and Toronto Open Data Search), the same
-// search accelerated with MinHash/LSH for comparison, and the
-// unionable tables, ranked.
+// Command ogdpsearch runs one-shot queries over a directory of CSV
+// files through the same execution-and-rendering layer
+// (internal/query) as the long-lived ogdpserve service, so its output
+// is byte-identical to the corresponding server response bodies.
+//
+// The default mode is discovery search: given a query table (and
+// optionally a column), it prints the top-k joinable columns by exact
+// value overlap (the JOSIE-style operation behind Auctus and Toronto
+// Open Data Search), the same search accelerated with MinHash/LSH for
+// comparison, and the unionable tables, ranked. -mode profile prints
+// the per-column profile; -mode fd the minimal functional
+// dependencies.
 //
 // Usage:
 //
 //	ogdpgen -portal CA -scale 0.1 -out /tmp/corpus
 //	ogdpsearch -dir /tmp/corpus -query fish-landings-part1-4.csv -col species -k 5
+//	ogdpsearch -dir /tmp/corpus -query fish-landings-part1-4.csv -mode fd
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,10 +28,8 @@ import (
 	"ogdp/cmd/internal/cli"
 	"ogdp/internal/diskcorpus"
 	"ogdp/internal/minhash"
-	"ogdp/internal/rank"
+	"ogdp/internal/query"
 	"ogdp/internal/search"
-	"ogdp/internal/table"
-	"ogdp/internal/union"
 )
 
 func main() {
@@ -31,13 +37,18 @@ func main() {
 	log.SetPrefix("ogdpsearch: ")
 
 	dir := flag.String("dir", "", "directory of CSV files (required)")
-	query := flag.String("query", "", "query table file name within -dir (required)")
+	qname := flag.String("query", "", "query table file name within -dir (required)")
 	col := flag.String("col", "", "query column name (default: first join-eligible column)")
 	k := flag.Int("k", 5, "top-k results")
+	mode := flag.String("mode", "search", "what to run: search, profile, or fd")
+	lhs := flag.Int("lhs", 0, "-mode fd: max left-hand-side size (0 = the paper's bound)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
 	ob := cli.StandardObs()
 	flag.Parse()
-	ob.Start("ogdpsearch")
-	if *dir == "" || *query == "" {
+	if err := ob.Start("ogdpsearch"); err != nil {
+		log.Fatal(err)
+	}
+	if *dir == "" || *qname == "" {
 		log.Fatal("-dir and -query are required")
 	}
 
@@ -48,37 +59,59 @@ func main() {
 		log.Fatal(err)
 	}
 	loadSpan.AddItems(len(c.Tables))
+	svc := query.New(c, query.Options{Workers: *workers})
 	loadSpan.End()
-	tables := c.Tables
-	queryIdx := c.ByName(*query)
-	if queryIdx < 0 {
-		log.Fatalf("query table %s not found in %s", *query, *dir)
+	ti := svc.TableIndex(*qname)
+	if ti < 0 {
+		log.Fatalf("query table %s not found in %s", *qname, *dir)
 	}
-	q := tables[queryIdx]
 
-	ci := pickColumn(q, *col)
-	if ci < 0 {
-		log.Fatalf("no eligible query column in %s", *query)
+	switch *mode {
+	case "search":
+		runSearch(ob, svc, c, ti, *col, *k)
+	case "profile", "fd":
+		span := ob.Trace().Child(*mode)
+		out, err := svc.Do(context.Background(), query.Request{
+			Kind: *mode, Table: *qname, MaxLHS: *lhs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		span.End()
+		fmt.Print(out)
+	default:
+		log.Fatalf("unknown -mode %q (want search, profile, or fd)", *mode)
 	}
-	fmt.Printf("query: %s.%s (%d distinct values)\n\n", q.Name, q.Cols[ci], q.Profile(ci).Distinct)
+	sw.PrintCompleted(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runSearch prints the discovery-search report: the exact join
+// search and the union search come from the shared renderers (the
+// parity surface with ogdpserve's /join and /union), with the
+// LSH-accelerated comparison — a CLI-only diagnostic — in between.
+func runSearch(ob *cli.Obs, svc *query.Service, c *diskcorpus.Corpus, ti int, col string, k int) {
+	ci, err := svc.PickColumn(ti, col)
+	if err != nil {
+		log.Fatalf("no eligible query column in %s", c.Tables[ti].Name)
+	}
+	fmt.Print(svc.HeaderText(ti, ci))
+	fmt.Print("\n")
 
 	joinSpan := ob.Trace().Child("join-search")
-	eng := search.New(tables, search.MinUniqueDefault)
-	fmt.Printf("top-%d joinable columns by exact overlap (JOSIE semantics):\n", *k)
-	for _, r := range eng.TopKJoinable(q, ci, *k, queryIdx) {
-		c := tables[r.Ref.Table]
-		fmt.Printf("  overlap=%-5d J=%.3f containment=%.3f  %s.%s\n",
-			r.Overlap, r.Jaccard, r.Containment, c.Name, c.Cols[r.Ref.Column])
-	}
-
+	fmt.Print(svc.JoinText(ti, ci, k))
 	joinSpan.End()
 
 	lshSpan := ob.Trace().Child("lsh")
 	fmt.Printf("\nLSH (MinHash 128, 16×8 bands) candidates at est. J >= 0.8:\n")
+	tables := c.Tables
+	q := tables[ti]
 	ix := minhash.NewIndex(16, 8)
 	var refs []search.ColumnRef
-	for ti, t := range tables {
-		if ti == queryIdx {
+	for t2, t := range tables {
+		if t2 == ti {
 			continue
 		}
 		for c := range t.Cols {
@@ -87,47 +120,23 @@ func main() {
 				continue
 			}
 			ix.Add(minhash.Sketch(p.ValueHashes(), 128))
-			refs = append(refs, search.ColumnRef{Table: ti, Column: c})
+			refs = append(refs, search.ColumnRef{Table: t2, Column: c})
 		}
 	}
 	qsig := minhash.Sketch(q.Profile(ci).ValueHashes(), 128)
 	for i, cand := range ix.Query(qsig, 0.8) {
-		if i == *k {
+		if i == k {
 			break
 		}
 		ref := refs[cand.ID]
-		c := tables[ref.Table]
-		fmt.Printf("  est=%.3f  %s.%s\n", cand.Estimate, c.Name, c.Cols[ref.Column])
+		t := tables[ref.Table]
+		fmt.Printf("  est=%.3f  %s.%s\n", cand.Estimate, t.Name, t.Cols[ref.Column])
 	}
 	lshSpan.AddTasks(len(refs))
 	lshSpan.End()
 
 	unionSpan := ob.Trace().Child("union")
-	fmt.Println("\nunionable tables (exact schema identity), ranked by relatedness:")
-	ua := union.Find(tables)
-	ranked := rank.RankUnionCandidates(ua, queryIdx, rank.UnionWeights{})
-	if len(ranked) == 0 {
-		fmt.Println("  none")
-	}
-	for i, r := range ranked {
-		if i == *k {
-			break
-		}
-		fmt.Printf("  score=%.2f  %s\n", r.Score, tables[r.Table].Name)
-	}
+	fmt.Print("\n")
+	fmt.Print(svc.UnionText(ti, k))
 	unionSpan.End()
-	sw.PrintCompleted(os.Stdout)
-	ob.Finish(os.Stdout)
-}
-
-func pickColumn(t *table.Table, name string) int {
-	if name != "" {
-		return t.ColumnIndex(name)
-	}
-	for c := range t.Cols {
-		if t.Profile(c).Distinct >= search.MinUniqueDefault {
-			return c
-		}
-	}
-	return -1
 }

@@ -27,7 +27,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
 	ob := cli.StandardObs()
 	flag.Parse()
-	ob.Start("ogdpunion")
+	if err := ob.Start("ogdpunion"); err != nil {
+		log.Fatal(err)
+	}
 
 	sw := cli.Start()
 	res := core.Run(gen.Profiles(), core.Options{
@@ -43,5 +45,7 @@ func main() {
 	report.Table11(os.Stdout, res)
 	report.UnionLabels(os.Stdout, res)
 	sw.PrintCompleted(os.Stdout)
-	ob.Finish(os.Stdout)
+	if err := ob.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,6 +1,7 @@
 package diskcorpus
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +17,20 @@ import (
 	"ogdp/internal/sniff"
 	"ogdp/internal/table"
 )
+
+// Skip records one input file the loader passed over, and why. A
+// long-lived service cannot afford the old bare counter: when a
+// corpus loads with 40 of 200 files missing, the operator needs the
+// names and reasons at startup, not a number.
+type Skip struct {
+	// Name is the file name within the corpus directory.
+	Name string
+	// Reason says why the file was not loaded ("read: ...",
+	// "undetected format ...", "csv: ...", "too wide ...", ...).
+	Reason string
+}
+
+func (s Skip) String() string { return s.Name + ": " + s.Reason }
 
 // Corpus is a loaded directory of tables.
 type Corpus struct {
@@ -33,7 +48,12 @@ type Corpus struct {
 	Skipped int
 	// SkippedWide counts files rejected by the wide-table cutoff.
 	SkippedWide int
-	// Manifest reports whether a datasets.json manifest was found.
+	// Skips is the per-file skip ledger, in file-name order: every
+	// counted skip (including wide-table rejections) plus a malformed
+	// datasets.json, each with its reason.
+	Skips []Skip
+	// Manifest reports whether a datasets.json manifest was found and
+	// parsed.
 	Manifest bool
 }
 
@@ -75,22 +95,26 @@ func Load(dir string) (*Corpus, error) {
 	for _, name := range names {
 		body, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
+			c.Skips = append(c.Skips, Skip{Name: name, Reason: fmt.Sprintf("read: %v", err)})
 			c.Skipped++
 			continue
 		}
-		t, wide := parse(name, body)
-		if wide {
-			c.SkippedWide++
-			continue
-		}
+		t, reason, wide := parse(name, body)
 		if t == nil {
-			c.Skipped++
+			c.Skips = append(c.Skips, Skip{Name: name, Reason: reason})
+			if wide {
+				c.SkippedWide++
+			} else {
+				c.Skipped++
+			}
 			continue
 		}
 		c.Tables = append(c.Tables, t)
 		c.Metas = append(c.Metas, corpus.TableMeta{Table: t, RawSize: int64(len(body))})
 	}
-	c.attachManifest()
+	if err := c.attachManifest(); err != nil {
+		c.Skips = append(c.Skips, Skip{Name: manifestFile, Reason: err.Error()})
+	}
 	return c, nil
 }
 
@@ -106,28 +130,32 @@ func LoadStudy(dir string) (corpus.Source, error) {
 	return Load(dir)
 }
 
-// parse runs the sniff/read pipeline; wide reports a wide-table
-// rejection.
-func parse(name string, body []byte) (t *table.Table, wide bool) {
+// parse runs the sniff/read pipeline. On failure t is nil, reason
+// says why, and wide distinguishes the wide-table cutoff (its own
+// counter) from the general skip counter. The body is wrapped in a
+// bytes.Reader, not copied through a string: with corpora of
+// thousands of CSVs, duplicating every file during load doubled the
+// loader's transient footprint for nothing.
+func parse(name string, body []byte) (t *table.Table, reason string, wide bool) {
 	format := sniff.Detect(body)
 	if !format.IsTabular() {
-		return nil, false
+		return nil, fmt.Sprintf("undetected format (sniffed %s, want csv or tsv)", format), false
 	}
 	opts := csvio.Options{}
 	if format == sniff.FormatTSV {
 		opts.Comma = '\t'
 	}
-	parsed, err := csvio.ReadWith(name, strings.NewReader(string(body)), opts)
+	parsed, err := csvio.ReadWith(name, bytes.NewReader(body), opts)
 	if err != nil {
 		if errors.Is(err, csvio.ErrTooWide) {
-			return nil, true
+			return nil, fmt.Sprintf("too wide: %v", err), true
 		}
-		return nil, false
+		return nil, fmt.Sprintf("csv: %v", err), false
 	}
 	if parsed.NumCols() == 0 || parsed.NumRows() == 0 {
-		return nil, false
+		return nil, "empty after parsing (no rows or no columns)", false
 	}
-	return parsed, false
+	return parsed, "", false
 }
 
 // manifestDataset mirrors the ogdpgen manifest entry; minimal
@@ -147,17 +175,27 @@ var metadataStyles = map[string]int{
 	"lacking": 0, "structured": 1, "unstructured": 2, "outside": 3,
 }
 
+// manifestFile is the dataset manifest ogdpgen writes next to the
+// CSVs.
+const manifestFile = "datasets.json"
+
 // attachManifest folds datasets.json (when present) into the loaded
 // tables: dataset attribution, publication dates, and metadata
-// styles.
-func (c *Corpus) attachManifest() {
-	data, err := os.ReadFile(filepath.Join(c.Dir, "datasets.json"))
+// styles. A missing manifest is normal (any directory of CSVs loads
+// without one); a present-but-unreadable or malformed one is an error
+// for the caller's skip ledger — silently losing all dataset
+// attribution used to be indistinguishable from having none.
+func (c *Corpus) attachManifest() error {
+	data, err := os.ReadFile(filepath.Join(c.Dir, manifestFile))
 	if err != nil {
-		return
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("manifest read: %w", err)
 	}
 	var manifest []manifestDataset
 	if err := json.Unmarshal(data, &manifest); err != nil {
-		return
+		return fmt.Errorf("malformed manifest: %w", err)
 	}
 	c.Manifest = true
 	byName := map[string]*manifestDataset{}
@@ -184,4 +222,5 @@ func (c *Corpus) attachManifest() {
 		c.Metas[i].Published = d.Published
 		c.Metas[i].Metadata = metadataStyles[d.Metadata]
 	}
+	return nil
 }

@@ -1,0 +1,390 @@
+// Package query is the shared execution-and-rendering layer behind
+// the interactive query surfaces: the ogdpserve HTTP service and the
+// one-shot ogdpsearch CLI both answer join-search, union-search,
+// profile, and FD queries through the one Service here, which is what
+// makes the server's response bodies byte-identical to the CLI's
+// output for the same query — the contract the serve tests pin.
+//
+// A Service is built once over an immutable corpus.Source: the
+// inverted join index (internal/search), the unionability grouping
+// (internal/union), and every column profile are computed at
+// construction, so query execution never mutates shared state and is
+// safe for concurrent callers. Construction fans out over
+// internal/parallel; per-request work (profile rendering, FD
+// plausibility) fans out too, bounded by the same Workers knob, and
+// honors context cancellation.
+package query
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"ogdp/internal/corpus"
+	"ogdp/internal/fd"
+	"ogdp/internal/keys"
+	"ogdp/internal/parallel"
+	"ogdp/internal/rank"
+	"ogdp/internal/search"
+	"ogdp/internal/table"
+	"ogdp/internal/union"
+)
+
+// Error sentinels the HTTP layer maps to status codes.
+var (
+	// ErrNotFound marks a query naming a table the corpus lacks.
+	ErrNotFound = errors.New("not found")
+	// ErrBadRequest marks a malformed query (unknown kind, missing or
+	// ineligible column).
+	ErrBadRequest = errors.New("bad request")
+)
+
+// Query kinds.
+const (
+	KindJoin    = "join"
+	KindUnion   = "union"
+	KindProfile = "profile"
+	KindFD      = "fd"
+)
+
+// Request is one normalized query. The zero values of the optional
+// fields select defaults (Normalize pins them), so a Request's Key is
+// canonical: two spellings of the same question share a cache slot.
+type Request struct {
+	// Kind is one of the Kind constants.
+	Kind string
+	// Table is the query table's file name within the corpus.
+	Table string
+	// Col is the join query column ("" = first join-eligible column).
+	Col string
+	// K bounds join/union result lists (0 = DefaultK).
+	K int
+	// MaxLHS bounds FD discovery (0 = fd.MaxLHS).
+	MaxLHS int
+}
+
+// DefaultK is the result-list bound when a request does not set one.
+const DefaultK = 5
+
+// Normalize pins the request's defaulted fields and drops the fields
+// its kind ignores, so Key collapses equivalent spellings.
+func (r Request) Normalize() Request {
+	r.Kind = strings.ToLower(strings.TrimSpace(r.Kind))
+	r.Table = strings.TrimSpace(r.Table)
+	r.Col = strings.TrimSpace(r.Col)
+	if r.K <= 0 {
+		r.K = DefaultK
+	}
+	if r.MaxLHS <= 0 || r.MaxLHS > fd.MaxLHS {
+		r.MaxLHS = fd.MaxLHS
+	}
+	switch r.Kind {
+	case KindJoin:
+		r.MaxLHS = 0
+	case KindUnion:
+		r.Col, r.MaxLHS = "", 0
+	case KindProfile:
+		r.Col, r.K, r.MaxLHS = "", 0, 0
+	case KindFD:
+		r.Col, r.K = "", 0
+	}
+	return r
+}
+
+// Key is the canonical cache key of the normalized request. The
+// result cache keys on (corpus hash, Key), so the spelling here is
+// load-bearing: it must identify the query and nothing else.
+func (r Request) Key() string {
+	r = r.Normalize()
+	return fmt.Sprintf("%s?col=%s&k=%d&lhs=%d&table=%s", r.Kind, r.Col, r.K, r.MaxLHS, r.Table)
+}
+
+// TableInfo describes one corpus table for discovery surfaces
+// (the /tables endpoint, the load generator's query pool).
+type TableInfo struct {
+	Name string   `json:"name"`
+	Rows int      `json:"rows"`
+	Cols []string `json:"cols"`
+}
+
+// Options configures Service construction and per-request fan-outs.
+type Options struct {
+	// Workers bounds every parallel fan-out (0 = all CPUs).
+	Workers int
+}
+
+// Service answers queries over one immutable loaded corpus.
+type Service struct {
+	src     corpus.Source
+	tables  []*table.Table
+	byName  map[string]int
+	eng     *search.Engine
+	ua      *union.Analysis
+	hash    uint64
+	workers int
+}
+
+// New builds the query service: profiles every column (fanned out
+// over the worker pool), indexes the join-eligible columns, groups
+// the unionable schemas, and fingerprints the corpus content. The
+// source must be immutable afterwards; all Service methods are then
+// safe for concurrent use.
+func New(src corpus.Source, opts Options) *Service {
+	s := &Service{
+		src:     src,
+		tables:  corpus.Tables(src),
+		byName:  make(map[string]int),
+		workers: opts.Workers,
+	}
+	for i, t := range s.tables {
+		if _, dup := s.byName[t.Name]; !dup {
+			s.byName[t.Name] = i
+		}
+	}
+	// Precompute profiles (and with them the dictionary encodings)
+	// before anything else: the engine build, the content hash, and
+	// every query below read them lock-free once published.
+	parallel.Must(parallel.ForEach(parallel.WithPool(context.Background(), "query-profile"),
+		len(s.tables), s.workers, func(i int) {
+			s.tables[i].Profiles()
+		}))
+	s.eng = search.New(s.tables, search.MinUniqueDefault)
+	s.ua = union.Find(s.tables)
+	s.hash = contentHash(src.PortalID(), s.tables)
+	return s
+}
+
+// contentHash fingerprints the corpus: portal id, table names,
+// schemas, and every column's distinct-value hashes with their
+// multiplicities. Two corpora with the same hash answer every query
+// identically, which is what lets cached results survive a server
+// restart onto the same corpus and die with a changed one.
+func contentHash(portal string, tables []*table.Table) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writeStr(portal)
+	for _, t := range tables {
+		writeStr(t.Name)
+		for _, c := range t.Cols {
+			writeStr(c)
+		}
+		for ci := range t.Cols {
+			p := t.Profile(ci)
+			counts := p.ValueHashCounts()
+			for i, v := range p.ValueHashes() {
+				binary.LittleEndian.PutUint64(buf[:], v)
+				h.Write(buf[:])
+				binary.LittleEndian.PutUint64(buf[:], uint64(counts[i]))
+				h.Write(buf[:])
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// Hash returns the corpus content fingerprint.
+func (s *Service) Hash() uint64 { return s.hash }
+
+// HashString is Hash in the fixed 16-hex-digit spelling used in cache
+// keys, response headers, and logs.
+func (s *Service) HashString() string { return fmt.Sprintf("%016x", s.hash) }
+
+// NumTables returns the corpus size.
+func (s *Service) NumTables() int { return len(s.tables) }
+
+// NumIndexed returns how many join-eligible columns the engine
+// indexed.
+func (s *Service) NumIndexed() int { return s.eng.NumIndexed() }
+
+// PortalID names the served corpus.
+func (s *Service) PortalID() string { return s.src.PortalID() }
+
+// Tables lists the corpus tables in canonical order.
+func (s *Service) Tables() []TableInfo {
+	out := make([]TableInfo, len(s.tables))
+	for i, t := range s.tables {
+		out[i] = TableInfo{Name: t.Name, Rows: t.NumRows(), Cols: append([]string(nil), t.Cols...)}
+	}
+	return out
+}
+
+// TableIndex returns the index of the named table, or -1.
+func (s *Service) TableIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// PickColumn resolves the join query column: the named column, or the
+// first join-eligible one when name is empty (the ogdpsearch rule).
+func (s *Service) PickColumn(ti int, name string) (int, error) {
+	t := s.tables[ti]
+	if name != "" {
+		ci := t.ColumnIndex(name)
+		if ci < 0 {
+			return -1, fmt.Errorf("%w: column %q not in table %s", ErrBadRequest, name, t.Name)
+		}
+		return ci, nil
+	}
+	for c := range t.Cols {
+		if t.Profile(c).Distinct >= search.MinUniqueDefault {
+			return c, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: no join-eligible column in table %s (need >= %d distinct values)",
+		ErrBadRequest, t.Name, search.MinUniqueDefault)
+}
+
+// Do executes a normalized request and returns the rendered response
+// body. Concurrent calls are safe; ctx bounds the per-request
+// fan-outs.
+func (s *Service) Do(ctx context.Context, req Request) (string, error) {
+	req = req.Normalize()
+	ti := s.TableIndex(req.Table)
+	if ti < 0 {
+		return "", fmt.Errorf("%w: table %q not in corpus %s", ErrNotFound, req.Table, s.src.PortalID())
+	}
+	switch req.Kind {
+	case KindJoin:
+		ci, err := s.PickColumn(ti, req.Col)
+		if err != nil {
+			return "", err
+		}
+		return s.HeaderText(ti, ci) + "\n" + s.JoinText(ti, ci, req.K), nil
+	case KindUnion:
+		return s.UnionText(ti, req.K), nil
+	case KindProfile:
+		return s.ProfileText(ctx, ti)
+	case KindFD:
+		return s.FDText(ctx, ti, req.MaxLHS)
+	default:
+		return "", fmt.Errorf("%w: unknown query kind %q", ErrBadRequest, req.Kind)
+	}
+}
+
+// HeaderText renders the query-identification line ogdpsearch prints
+// before its result sections.
+func (s *Service) HeaderText(ti, ci int) string {
+	t := s.tables[ti]
+	return fmt.Sprintf("query: %s.%s (%d distinct values)\n", t.Name, t.Cols[ci], t.Profile(ci).Distinct)
+}
+
+// JoinText renders the top-k joinable columns of the query column by
+// exact value overlap — JOSIE's semantics, byte-identical to the
+// ogdpsearch join section.
+func (s *Service) JoinText(ti, ci, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "top-%d joinable columns by exact overlap (JOSIE semantics):\n", k)
+	for _, r := range s.eng.TopKJoinable(s.tables[ti], ci, k, ti) {
+		c := s.tables[r.Ref.Table]
+		fmt.Fprintf(&b, "  overlap=%-5d J=%.3f containment=%.3f  %s.%s\n",
+			r.Overlap, r.Jaccard, r.Containment, c.Name, c.Cols[r.Ref.Column])
+	}
+	return b.String()
+}
+
+// UnionText renders the tables unionable with the query table (exact
+// schema identity), ranked by relatedness — byte-identical to the
+// ogdpsearch union section.
+func (s *Service) UnionText(ti, k int) string {
+	var b strings.Builder
+	b.WriteString("unionable tables (exact schema identity), ranked by relatedness:\n")
+	ranked := rank.RankUnionCandidates(s.ua, ti, rank.UnionWeights{})
+	if len(ranked) == 0 {
+		b.WriteString("  none\n")
+	}
+	for i, r := range ranked {
+		if i == k {
+			break
+		}
+		fmt.Fprintf(&b, "  score=%.2f  %s\n", r.Score, s.tables[r.Table].Name)
+	}
+	return b.String()
+}
+
+// ProfileText renders the per-column profile of one table: type,
+// distinct count, null ratio, uniqueness, and key flag per column,
+// plus the single-column key list. Column stats are computed in a
+// request-scoped fan-out bounded by ctx.
+func (s *Service) ProfileText(ctx context.Context, ti int) (string, error) {
+	t := s.tables[ti]
+	lines := make([]string, t.NumCols())
+	nameW := 0
+	for _, c := range t.Cols {
+		if len(c) > nameW {
+			nameW = len(c)
+		}
+	}
+	if err := parallel.ForEach(parallel.WithPool(ctx, "query-profile-render"),
+		t.NumCols(), s.workers, func(c int) {
+			p := t.Profile(c)
+			key := ""
+			if p.IsKey() {
+				key = "  key"
+			}
+			lines[c] = fmt.Sprintf("  [%d] %-*s  %-8s distinct=%-6d nulls=%.1f%%  unique=%.3f%s",
+				c, nameW, t.Cols[c], p.Type, p.Distinct, 100*p.NullRatio(), p.Uniqueness(), key)
+		}); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "table: %s (%d rows × %d columns)\n", t.Name, t.NumRows(), t.NumCols())
+	if t.DatasetID != "" {
+		fmt.Fprintf(&b, "dataset: %s\n", t.DatasetID)
+	}
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	kc := keys.KeyColumns(t)
+	if len(kc) == 0 {
+		b.WriteString("single-column keys: none\n")
+	} else {
+		names := make([]string, len(kc))
+		for i, c := range kc {
+			names[i] = t.Cols[c]
+		}
+		fmt.Fprintf(&b, "single-column keys: %s\n", strings.Join(names, ", "))
+	}
+	return b.String(), nil
+}
+
+// FDText renders the table's minimal functional dependencies (bounded
+// at maxLHS) with their plausibility scores, computed in a
+// request-scoped fan-out bounded by ctx.
+func (s *Service) FDText(ctx context.Context, ti, maxLHS int) (string, error) {
+	t := s.tables[ti]
+	if t.NumCols() > fd.MaxColumns {
+		return "", fmt.Errorf("%w: table %s has %d columns; FD discovery accepts at most %d",
+			ErrBadRequest, t.Name, t.NumCols(), fd.MaxColumns)
+	}
+	fds := fd.Discover(t, maxLHS)
+	scores := make([]float64, len(fds))
+	if err := parallel.ForEach(parallel.WithPool(ctx, "query-fd-plausibility"),
+		len(fds), s.workers, func(i int) {
+			scores[i] = fd.Plausibility(t, fds[i])
+		}); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "functional dependencies of %s (max LHS %d): %d minimal FDs\n", t.Name, maxLHS, len(fds))
+	for i, f := range fds {
+		fmt.Fprintf(&b, "  %s   (plausibility %.2f)\n", f.Format(t), scores[i])
+	}
+	return b.String(), nil
+}
+
+// Kinds names the supported query kinds, for flag help and error
+// text.
+func Kinds() string {
+	return strings.Join([]string{KindJoin, KindUnion, KindProfile, KindFD}, ", ")
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU over rendered response bodies.
+// Keys are "(corpus content hash) (normalized request key)" strings,
+// so a cache survives nothing it should not: restarting on the same
+// corpus reproduces the same keys, while any change to the loaded
+// tables changes the hash and silently retires every stale entry.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	byK map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body string
+}
+
+// newResultCache returns a cache holding up to capacity entries; a
+// capacity < 1 disables caching (every Get misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		byK: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key and marks it most recently
+// used.
+func (c *resultCache) Get(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[key]
+	if !ok {
+		return "", false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry
+// when the cache is full.
+func (c *resultCache) Put(key, body string) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byK, oldest.Value.(*cacheEntry).key)
+	}
+	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+}
+
+// Len reports the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c := newResultCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", "1")
+	c.Put("b", "2")
+	if v, ok := c.Get("a"); !ok || v != "1" {
+		t.Errorf("a = %q, %v", v, ok)
+	}
+	// a was just used, so inserting c evicts b.
+	c.Put("c", "3")
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if v, ok := c.Get("a"); !ok || v != "1" {
+		t.Errorf("a after eviction = %q, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", "old")
+	c.Put("a", "new")
+	if v, _ := c.Get("a"); v != "new" {
+		t.Errorf("a = %q", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after double Put of one key", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.Put("a", "1")
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache must never hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%16)
+				c.Put(k, k)
+				if v, ok := c.Get(k); ok && v != k {
+					t.Errorf("%s = %q", k, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("Len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ogdp/internal/diskcorpus"
+	"ogdp/internal/obs"
+	"ogdp/internal/query"
+)
+
+// fixtureServer builds a Server over a small corpus with joinable,
+// unionable, and FD structure.
+func fixtureServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	dir := t.TempDir()
+	var species strings.Builder
+	species.WriteString("species_id,species,region,climate\n")
+	var landings strings.Builder
+	landings.WriteString("code,species,tonnage\n")
+	climates := []string{"temperate", "arctic", "tropical"}
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&species, "S%02d,name-%02d,region-%d,%s\n", i, i, i%3, climates[i%3])
+		fmt.Fprintf(&landings, "C%02d,name-%02d,%d\n", i, i, 10*i)
+	}
+	files := []struct{ name, content string }{
+		{"species.csv", species.String()},
+		{"landings.csv", landings.String()},
+		{"parts-2019.csv", "city,country,count\na,AA,1\nb,BB,2\nc,AA,3\n"},
+		{"parts-2020.csv", "city,country,count\nd,AA,4\ne,BB,5\nf,CC,6\n"},
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := diskcorpus.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(query.New(c, query.Options{Workers: 2}), opts)
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestQueryEndpointsMatchService pins the byte-parity contract: every
+// endpoint body equals query.Service.Do for the equivalent request,
+// under concurrent mixed load.
+func TestQueryEndpointsMatchService(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := fixtureServer(t, Options{Registry: reg})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cases := []struct {
+		path string
+		req  query.Request
+	}{
+		{"/join?table=landings.csv&col=species", query.Request{Kind: query.KindJoin, Table: "landings.csv", Col: "species"}},
+		{"/union?table=parts-2019.csv", query.Request{Kind: query.KindUnion, Table: "parts-2019.csv"}},
+		{"/profile?table=species.csv", query.Request{Kind: query.KindProfile, Table: "species.csv"}},
+		{"/fd?table=species.csv&lhs=2", query.Request{Kind: query.KindFD, Table: "species.csv", MaxLHS: 2}},
+	}
+	var wg sync.WaitGroup
+	for _, tc := range cases {
+		want, err := srv.Service().Do(context.Background(), tc.req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(path, want string) {
+				defer wg.Done()
+				resp, body := get(t, ts, path)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+					return
+				}
+				if body != want {
+					t.Errorf("%s: body differs from query.Service.Do:\n got %q\nwant %q", path, body, want)
+				}
+				if h := resp.Header.Get("X-Ogdp-Corpus"); h != srv.Service().HashString() {
+					t.Errorf("%s: X-Ogdp-Corpus = %q", path, h)
+				}
+			}(tc.path, want)
+		}
+	}
+	wg.Wait()
+}
+
+func TestCacheHitsAndCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := fixtureServer(t, Options{Registry: reg})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp1, body1 := get(t, ts, "/profile?table=species.csv")
+	if resp1.Header.Get("X-Ogdp-Cache") != "miss" {
+		t.Errorf("first request cache header = %q", resp1.Header.Get("X-Ogdp-Cache"))
+	}
+	resp2, body2 := get(t, ts, "/profile?table=species.csv")
+	if resp2.Header.Get("X-Ogdp-Cache") != "hit" {
+		t.Errorf("second request cache header = %q", resp2.Header.Get("X-Ogdp-Cache"))
+	}
+	if body1 != body2 {
+		t.Error("cached body differs from computed body")
+	}
+	// Normalization folds equivalent spellings into one entry: k on a
+	// profile request is ignored, so this is a third hit, not a miss.
+	if resp3, _ := get(t, ts, "/profile?table=species.csv&k=9"); resp3.Header.Get("X-Ogdp-Cache") != "hit" {
+		t.Error("normalized-equivalent request missed the cache")
+	}
+	hits := reg.Counter("ogdp_serve_cache_hits_total", "").Value()
+	misses := reg.Counter("ogdp_serve_cache_misses_total", "").Value()
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	if srv.CacheLen() != 1 {
+		t.Errorf("CacheLen = %d", srv.CacheLen())
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	srv := fixtureServer(t, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/join?table=nope.csv", http.StatusNotFound},
+		{"/join?table=landings.csv&col=nope", http.StatusBadRequest},
+		{"/join", http.StatusBadRequest}, // missing table
+		{"/fd?table=species.csv&lhs=x", http.StatusBadRequest},
+		{"/join?table=landings.csv&k=-3", http.StatusBadRequest},
+	} {
+		resp, body := get(t, ts, tc.path)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.path, resp.StatusCode, tc.want, strings.TrimSpace(body))
+		}
+	}
+	resp, err := http.Post(ts.URL+"/join?table=landings.csv", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}
+
+// TestBackpressure429 fills every execution slot and queue place,
+// then checks the next arrival bounces with 429 + Retry-After.
+func TestBackpressure429(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := fixtureServer(t, Options{MaxConcurrent: 1, QueueDepth: 1, Registry: reg})
+	// Occupy the only execution slot and the only queue place
+	// directly; requests now find the server saturated.
+	srv.sem <- struct{}{}
+	srv.queue <- struct{}{}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/profile?table=species.csv")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (%s), want 429", resp.StatusCode, strings.TrimSpace(body))
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if v := reg.Counter("ogdp_serve_rejected_total", "").Value(); v != 1 {
+		t.Errorf("rejected counter = %d", v)
+	}
+	if v := reg.Counter("ogdp_serve_requests_total", "", "endpoint", "/profile", "status", "429").Value(); v != 1 {
+		t.Errorf("requests{profile,429} = %d", v)
+	}
+
+	// Free the slot: the same request now succeeds.
+	<-srv.sem
+	<-srv.queue
+	if resp, _ := get(t, ts, "/profile?table=species.csv"); resp.StatusCode != http.StatusOK {
+		t.Errorf("status after freeing slots = %d", resp.StatusCode)
+	}
+}
+
+// TestQueueWaitTimeout parks a request in the wait queue with no slot
+// ever freeing; the request's own deadline must fail it with 503.
+func TestQueueWaitTimeout(t *testing.T) {
+	srv := fixtureServer(t, Options{MaxConcurrent: 1, QueueDepth: 4, Timeout: 30 * time.Millisecond})
+	srv.sem <- struct{}{} // slot never frees
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/profile?table=species.csv")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", resp.StatusCode, strings.TrimSpace(body))
+	}
+	<-srv.sem
+}
+
+func TestTablesAndHealthz(t *testing.T) {
+	srv := fixtureServer(t, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/tables")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("/tables status %d content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{`"num_tables": 4`, `"landings.csv"`, `"corpus_hash"`, `"kinds": "join, union, profile, fd"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/tables misses %s:\n%s", want, body)
+		}
+	}
+	if resp, body := get(t, ts, "/healthz"); resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsEndpointExposesServeSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := fixtureServer(t, Options{Registry: reg})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get(t, ts, "/profile?table=species.csv")
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`ogdp_serve_requests_total{endpoint="/profile",status="200"} 1`,
+		"ogdp_serve_cache_misses_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics misses %q", want)
+		}
+	}
+}
+
+func TestCacheDisabledOption(t *testing.T) {
+	srv := fixtureServer(t, Options{CacheEntries: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	get(t, ts, "/profile?table=species.csv")
+	if resp, _ := get(t, ts, "/profile?table=species.csv"); resp.Header.Get("X-Ogdp-Cache") != "miss" {
+		t.Error("disabled cache still hit")
+	}
+	if srv.CacheLen() != 0 {
+		t.Errorf("CacheLen = %d with caching disabled", srv.CacheLen())
+	}
+}
