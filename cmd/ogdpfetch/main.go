@@ -18,12 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
-	"net/http"
 	"os"
+	"time"
 
 	"ogdp/cmd/internal/cli"
 	"ogdp/internal/ckan"
@@ -72,13 +72,14 @@ func main() {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	ln, err := net.Listen("tcp", addr)
+	// cli.StartHTTP owns the listener goroutine and its error channel;
+	// a raw `go srv.Serve(ln)` here would leak the goroutine and drop
+	// its terminal error (gorolife).
+	hs, err := cli.StartHTTP(addr, ckanSrv)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: ckanSrv}
-	go srv.Serve(ln)
-	base := "http://" + ln.Addr().String()
+	base := "http://" + hs.Addr().String()
 	fmt.Printf("CKAN API serving %s at %s\n", prof.Name, base)
 
 	client := ckan.NewClient(base)
@@ -126,7 +127,11 @@ func main() {
 
 	if *serve != "" {
 		fmt.Printf("serving until interrupted: try %s/api/3/action/package_list\n", base)
-		select {}
+		log.Fatalf("serve: %v", <-hs.ServeErr())
 	}
-	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -14,10 +14,12 @@
 //
 //	ogdplint ./...              # whole module (default)
 //	ogdplint ./internal/join    # restrict findings to a subtree
+//	ogdplint -json ./...        # full findings ledger as stable JSON
 //	ogdplint -list              # describe the checks
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,11 +31,24 @@ import (
 	"ogdp/internal/analyze"
 )
 
+// jsonFinding is the -json wire shape: one object per finding, sorted
+// by position then check name (the order analyze.RunDetailed already
+// guarantees), so CI artifacts diff cleanly across runs. Suppressed
+// findings are included with the allow comment's position, making the
+// artifact a ledger of what every //lint:allow is absorbing.
+type jsonFinding struct {
+	Check        string `json:"check"`
+	Pos          string `json:"pos"`
+	Msg          string `json:"msg"`
+	SuppressedBy string `json:"suppressed_by,omitempty"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ogdplint: ")
 
 	list := flag.Bool("list", false, "list registered checks and exit")
+	asJSON := flag.Bool("json", false, "emit every finding (suppressed ones included) as sorted JSON")
 	ob := cli.StandardObs()
 	flag.Parse()
 	if err := ob.Start("ogdplint"); err != nil {
@@ -70,24 +85,51 @@ func main() {
 
 	checkSpan := ob.Trace().Child("checks")
 	checkSpan.AddTasks(len(prog.Pkgs) * len(analyze.Checks()))
-	findings := analyze.Run(prog.Pkgs, analyze.Checks())
-	checkSpan.AddItems(len(findings))
+	detailed := analyze.RunDetailed(prog.Pkgs, analyze.Checks())
+	checkSpan.AddItems(len(detailed))
 	checkSpan.End()
-	ob.Registry().Counter("ogdplint_packages_total", "Packages loaded and checked.").Add(int64(len(prog.Pkgs)))
-	ob.Registry().Counter("ogdplint_findings_total", "Findings surviving suppression.").Add(int64(len(findings)))
-	printed := 0
-	for _, f := range findings {
+
+	live := 0
+	var out []jsonFinding
+	for _, f := range detailed {
 		if !underAny(f.Pos.Filename, prefixes) {
 			continue
 		}
-		fmt.Println(f.RelativeTo(cwd))
-		printed++
+		f = f.RelativeTo(cwd)
+		if *asJSON {
+			out = append(out, jsonFinding{
+				Check:        f.Check,
+				Pos:          fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line),
+				Msg:          f.Msg,
+				SuppressedBy: f.SuppressedBy,
+			})
+		} else if f.SuppressedBy == "" {
+			fmt.Println(f)
+		}
+		if f.SuppressedBy == "" {
+			live++
+		}
 	}
-	if err := ob.Finish(os.Stdout); err != nil {
+	ob.Registry().Counter("ogdplint_packages_total", "Packages loaded and checked.").Add(int64(len(prog.Pkgs)))
+	ob.Registry().Counter("ogdplint_findings_total", "Findings surviving suppression.").Add(int64(live))
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if out == nil {
+			out = []jsonFinding{} // stable artifact: "[]", never "null"
+		}
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		// Keep stdout pure JSON; the obs footer goes to stderr.
+		if err := ob.Finish(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := ob.Finish(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	if printed > 0 {
-		log.Fatalf("%d finding(s)", printed)
+	if live > 0 {
+		log.Fatalf("%d finding(s)", live)
 	}
 }
 

@@ -249,7 +249,7 @@ func runLoad(client *http.Client, base string, spec loadSpec) *runResult {
 	var done, okN, rejN, failN atomic.Int64
 	stop := make(chan struct{})
 	if spec.report > 0 {
-		go func() {
+		go func() { //lint:allow(gorolife) shutdown owner: runLoad closes stop after wg.Wait, ending this reporter
 			tick := time.NewTicker(spec.report)
 			defer tick.Stop()
 			start := time.Now()

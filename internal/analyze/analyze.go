@@ -18,6 +18,10 @@ type Finding struct {
 	Check string
 	// Msg describes the violation and the fix direction.
 	Msg string
+	// SuppressedBy is empty for a live finding; for a finding silenced
+	// by a //lint:allow comment it records the comment's "file:line"
+	// (only populated by RunDetailed — Run drops suppressed findings).
+	SuppressedBy string
 }
 
 // String formats the finding as "file:line: [check] message", the
@@ -32,8 +36,12 @@ func (f Finding) RelativeTo(base string) Finding {
 	if base == "" {
 		return f
 	}
-	if rel, ok := strings.CutPrefix(f.Pos.Filename, strings.TrimSuffix(base, "/")+"/"); ok {
+	prefix := strings.TrimSuffix(base, "/") + "/"
+	if rel, ok := strings.CutPrefix(f.Pos.Filename, prefix); ok {
 		f.Pos.Filename = rel
+	}
+	if rel, ok := strings.CutPrefix(f.SuppressedBy, prefix); ok {
+		f.SuppressedBy = rel
 	}
 	return f
 }
@@ -71,6 +79,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // suppression comments (unknown check names) are reported as findings
 // of the pseudo-check "allow" and cannot themselves be suppressed.
 func Run(pkgs []*Package, checks []*Check) []Finding {
+	var live []Finding
+	for _, f := range RunDetailed(pkgs, checks) {
+		if f.SuppressedBy == "" {
+			live = append(live, f)
+		}
+	}
+	return live
+}
+
+// RunDetailed is Run without the suppression filter: every finding is
+// returned, and those silenced by a //lint:allow comment carry the
+// comment's position in SuppressedBy. ogdplint -json emits this full
+// ledger so CI artifacts record what each allow comment is absorbing.
+func RunDetailed(pkgs []*Package, checks []*Check) []Finding {
 	known := map[string]bool{}
 	for _, c := range checks {
 		known[c.Name] = true
@@ -84,9 +106,8 @@ func Run(pkgs []*Package, checks []*Check) []Finding {
 			c.Run(&Pass{Check: c, Pkg: pkg, findings: &raw})
 		}
 		for _, f := range raw {
-			if !sup.allows(f) {
-				all = append(all, f)
-			}
+			f.SuppressedBy = sup.allows(f)
+			all = append(all, f)
 		}
 		all = append(all, badAllows...)
 	}
@@ -119,19 +140,22 @@ type allowRule struct {
 	file     string
 	from, to int // inclusive line range
 	checks   map[string]bool
+	pos      string // the allow comment's own "file:line"
 }
 
 type suppressionSet struct {
 	rules []allowRule
 }
 
-func (s suppressionSet) allows(f Finding) bool {
+// allows returns the "file:line" of the comment suppressing f, or ""
+// when no rule matches.
+func (s suppressionSet) allows(f Finding) string {
 	for _, r := range s.rules {
 		if r.checks[f.Check] && r.file == f.Pos.Filename && r.from <= f.Pos.Line && f.Pos.Line <= r.to {
-			return true
+			return r.pos
 		}
 	}
-	return false
+	return ""
 }
 
 // suppressions scans a package's comments for //lint:allow directives.
@@ -167,7 +191,13 @@ func suppressions(pkg *Package, known map[string]bool) (suppressionSet, []Findin
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				rule := allowRule{file: pos.Filename, from: pos.Line, to: pos.Line, checks: map[string]bool{}}
+				rule := allowRule{
+					file:   pos.Filename,
+					from:   pos.Line,
+					to:     pos.Line,
+					checks: map[string]bool{},
+					pos:    fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+				}
 				if r, ok := funcRange[pos.Line]; ok {
 					rule.from, rule.to = r[0], r[1]
 				}

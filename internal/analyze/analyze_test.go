@@ -2,6 +2,7 @@ package analyze
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,9 +18,12 @@ var testLoader = sync.OnceValue(NewLoader)
 
 // fixturePaths assigns import paths to fixtures that need one with
 // meaning: detrand only fires inside study packages, so its fixture
-// is loaded as ogdp/internal/gen. Everything else gets fix/<name>.
+// is loaded as ogdp/internal/gen, and ctxloop only fires on the
+// serving surface, so its fixture loads as a cmd/ package. Everything
+// else gets fix/<name>.
 var fixturePaths = map[string]string{
 	"detrand": "ogdp/internal/gen",
+	"ctxloop": "ogdp/cmd/ctxloop",
 }
 
 // fixtureChecks names the checks to run over a fixture. The suppress
@@ -213,6 +217,130 @@ func containsInt(xs []int, x int) bool {
 		}
 	}
 	return false
+}
+
+// TestSuppressionNewCheckSelective: the lockpath-only allow on the
+// handoff function sanctions the lock leak but not the raw go
+// statement inside it — gorolife keeps its finding.
+func TestSuppressionNewCheckSelective(t *testing.T) {
+	fs := fixtureFindings(t, "suppress")
+	if len(findingsAt(fs, "lockpath")) != 0 {
+		t.Errorf("lockpath finding survived its function-level allow: %v", findingsAt(fs, "lockpath"))
+	}
+	goLine := fixtureLine(t, "suppress", "go notify(ready)")
+	var goroLines []int
+	for _, f := range findingsAt(fs, "gorolife") {
+		goroLines = append(goroLines, f.Pos.Line)
+	}
+	if !containsInt(goroLines, goLine) {
+		t.Errorf("gorolife finding on line %d was swallowed by a lockpath-only allow (gorolife lines: %v)", goLine, goroLines)
+	}
+}
+
+// TestPathScope: path-scoped checks stay quiet outside their scope.
+// The same fixture sources that produce findings under their scoped
+// import paths produce none when loaded elsewhere.
+func TestPathScope(t *testing.T) {
+	l := testLoader()
+	cases := []struct {
+		fixture, path, check string
+	}{
+		// ctxloop only fires on the serving surface (cmd/, serve, ckan,
+		// query); under a neutral path the same loops are fine.
+		{"ctxloop", "fix/unscoped/ctxloop", "ctxloop"},
+		// gorolife exempts the goroutine-owner packages.
+		{"gorolife", "ogdp/internal/parallel", "gorolife"},
+	}
+	for _, tc := range cases {
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", tc.fixture), tc.path)
+		if err != nil {
+			t.Fatalf("loading %s as %s: %v", tc.fixture, tc.path, err)
+		}
+		fs := Run([]*Package{pkg}, []*Check{CheckByName(tc.check)})
+		if len(fs) != 0 {
+			t.Errorf("%s under import path %s should report nothing, got %v", tc.check, tc.path, fs)
+		}
+	}
+}
+
+// TestLoaderMemoizes: a Loader hands back the same type-checked
+// package for repeated LoadDir calls (and the same Program for
+// repeated module Loads), so the self-check, the golden tests, and
+// ogdplint's driver all share one type-check of the module.
+func TestLoaderMemoizes(t *testing.T) {
+	l := testLoader()
+	dir := filepath.Join("testdata", "src", "gorolife")
+	p1, err := l.LoadDir(dir, "fix/gorolife")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := l.LoadDir(dir, "fix/gorolife")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("LoadDir re-parsed an already-loaded (dir, import path) pair")
+	}
+	if testing.Short() {
+		t.Skip("module Load memoization needs the full type-check; skipped in -short")
+	}
+	root := filepath.Join("..", "..")
+	prog1, err := l.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := l.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog1 != prog2 {
+		t.Error("Load re-type-checked an already-loaded module root")
+	}
+}
+
+// TestRunDetailedSuppressedBy: RunDetailed keeps suppressed findings,
+// stamping each with the position of the allow comment that silenced
+// it; Run is exactly the SuppressedBy == "" subset.
+func TestRunDetailedSuppressedBy(t *testing.T) {
+	base, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := []*Package{loadFixture(t, "suppress")}
+	var detailed []Finding
+	for _, f := range RunDetailed(pkgs, Checks()) {
+		detailed = append(detailed, f.RelativeTo(base))
+	}
+
+	allowLine := fixtureLine(t, "suppress", "exact compare intended")
+	wantBy := fmt.Sprintf("suppress/suppress.go:%d", allowLine)
+	found := false
+	for _, f := range detailed {
+		if f.Check == "floatcmp" && f.Pos.Line == allowLine {
+			found = true
+			if f.SuppressedBy != wantBy {
+				t.Errorf("suppressed floatcmp finding carries SuppressedBy %q, want %q", f.SuppressedBy, wantBy)
+			}
+		}
+	}
+	if !found {
+		t.Error("RunDetailed dropped the suppressed floatcmp finding")
+	}
+
+	var live []string
+	for _, f := range detailed {
+		if f.SuppressedBy == "" {
+			live = append(live, f.String())
+		}
+	}
+	var ran []string
+	for _, f := range fixtureFindings(t, "suppress") {
+		ran = append(ran, f.String())
+	}
+	if strings.Join(live, "\n") != strings.Join(ran, "\n") {
+		t.Errorf("Run is not the unsuppressed subset of RunDetailed\n--- RunDetailed live ---\n%s\n--- Run ---\n%s",
+			strings.Join(live, "\n"), strings.Join(ran, "\n"))
+	}
 }
 
 // TestCheckDocs: every registered check has a name and an invariant

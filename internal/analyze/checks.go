@@ -15,6 +15,10 @@ func Checks() []*Check {
 		floatcmpCheck,
 		ctxfirstCheck,
 		rawdataCheck,
+		atomicpubCheck,
+		lockpathCheck,
+		gorolifeCheck,
+		ctxloopCheck,
 	}
 }
 

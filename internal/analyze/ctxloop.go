@@ -1,0 +1,110 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxloopCheck enforces cancellation on serving loops: a `for` loop
+// whose body is built around a `select` — the shape of every poller,
+// reporter, and connection pump in the serve/fetch layers — must have
+// a case that observes shutdown. A case counts when it receives from a
+// ctx.Done() channel or an equivalent close-signal channel (element
+// type struct{} or os.Signal). Without one, the loop outlives drain
+// and leaks its goroutine.
+var ctxloopCheck = &Check{
+	Name: "ctxloop",
+	Doc:  "for+select loops in serving/fetch code include a ctx.Done() or equivalent cancellation case",
+	Run:  runCtxloop,
+}
+
+// servingPackage reports whether the import path is part of the
+// serving/fetch surface, where every long-lived loop must answer to a
+// shutdown signal. Study packages run under the parallel pool and end
+// when their work does, so they are out of scope.
+func servingPackage(path string) bool {
+	switch path {
+	case "ogdp/internal/serve", "ogdp/internal/ckan", "ogdp/internal/query":
+		return true
+	}
+	return strings.HasPrefix(path, "ogdp/cmd/")
+}
+
+func runCtxloop(p *Pass) {
+	if !servingPackage(p.Pkg.Path) {
+		return
+	}
+	info := p.Pkg.Info
+	inspectAll(p, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		sel := directSelect(loop.Body)
+		if sel == nil {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if ch := receivedChan(cc.Comm); ch != nil && cancelChan(info, ch) {
+				return true
+			}
+		}
+		p.Reportf(loop.Pos(), "for+select loop without a cancellation case: receive from ctx.Done() or a close-signal channel so the loop exits on shutdown, or add //lint:allow(ctxloop) naming the exit owner")
+		return true
+	})
+}
+
+// directSelect returns the select statement the loop body is built
+// around: a select that is a direct child of the body (possibly after
+// other statements), or nil.
+func directSelect(body *ast.BlockStmt) *ast.SelectStmt {
+	for _, s := range body.List {
+		if sel, ok := s.(*ast.SelectStmt); ok {
+			return sel
+		}
+	}
+	return nil
+}
+
+// receivedChan extracts the channel expression a comm clause receives
+// from (`<-ch`, `v := <-ch`, `v, ok = <-ch`), or nil for sends.
+func receivedChan(comm ast.Stmt) ast.Expr {
+	var x ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		x = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			x = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(x).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+// cancelChan reports whether ch is a shutdown-signal channel: the type
+// carries no data (chan struct{}, which is also what ctx.Done()
+// returns) or carries os.Signal (signal.Notify channels).
+func cancelChan(info *types.Info, ch ast.Expr) bool {
+	typ := info.TypeOf(ch)
+	if typ == nil {
+		return false
+	}
+	t, ok := typ.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	elem := t.Elem()
+	if st, ok := elem.Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+		return true
+	}
+	return isPkgType(elem, "os", "Signal")
+}

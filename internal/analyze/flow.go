@@ -1,0 +1,457 @@
+package analyze
+
+// flow.go is the lightweight intraprocedural control-flow walk shared
+// by the concurrency checks (lockpath, atomicpub). It interprets one
+// function body at a time over the typed AST — no SSA, no external
+// packages — tracking whether an acquired resource (a mutex) is still
+// held along each path, and surfacing every exit edge (return, panic,
+// falling off the end) reached while the resource may be held without
+// a registered deferred release.
+//
+// The walk is deliberately conservative: branches merge with
+// may-be-held semantics, loop bodies are interpreted once, `goto`
+// terminates a path without a verdict, and function literals are never
+// inlined (each literal is walked as its own function). Intentional
+// protocol violations — lock handoffs across functions, single-writer
+// init paths — are expressed with //lint:allow and a justification,
+// the same escape hatch the determinism checks use.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// flowEffect classifies what a statement-level call does to the
+// tracked resource.
+type flowEffect int
+
+const (
+	flowNone flowEffect = iota
+	// flowAcquire marks the resource held from here on.
+	flowAcquire
+	// flowRelease marks the resource released.
+	flowRelease
+)
+
+// termKind classifies calls that end the current path.
+type termKind int
+
+const (
+	termNone termKind = iota
+	// termPanics unwinds the stack (panic, log.Panic*): a held lock
+	// leaks to recovering frames unless a defer releases it.
+	termPanics
+	// termExits ends the process (os.Exit, log.Fatal*): held locks are
+	// moot, so no exit edge is reported.
+	termExits
+)
+
+// flowHooks parameterizes one walk of one function body.
+type flowHooks struct {
+	info *types.Info
+	// effect classifies a statement-level call against the tracked
+	// resource.
+	effect func(*ast.CallExpr) flowEffect
+	// onExit receives each exit edge (kind "return", "panic", or
+	// "end of function") reachable while the resource may be held and
+	// no deferred release has been registered.
+	onExit func(pos token.Pos, kind string)
+	// onCall, when non-nil, observes every statement-level call with
+	// the held state in force when it runs.
+	onCall func(call *ast.CallExpr, held bool)
+}
+
+// flowState is the abstract state at one program point.
+type flowState struct {
+	held     bool // the resource may be held
+	deferred bool // a defer releasing the resource has been registered
+	dead     bool // the point is unreachable (path already exited)
+}
+
+// flowMerge joins two branch states: a resource possibly held on
+// either side counts as held, and a deferred release must be
+// registered on both sides to cover the join.
+func flowMerge(a, b flowState) flowState {
+	if a.dead {
+		return b
+	}
+	if b.dead {
+		return a
+	}
+	return flowState{held: a.held || b.held, deferred: a.deferred && b.deferred}
+}
+
+// flowWalker carries the walk's hooks plus the stacks of enclosing
+// break/continue targets, so a branch statement folds its state into
+// the construct it jumps out of.
+type flowWalker struct {
+	hooks     flowHooks
+	breaks    []*[]flowState // innermost-last breakable constructs
+	continues []*[]flowState // innermost-last loops
+}
+
+// flowWalk interprets body under hooks. Nested function literals are
+// not entered — walk them separately via funcBodies.
+func flowWalk(body *ast.BlockStmt, hooks flowHooks) {
+	w := &flowWalker{hooks: hooks}
+	st := w.stmts(body.List, flowState{})
+	if !st.dead && st.held && !st.deferred {
+		w.exit(body.Rbrace, "end of function")
+	}
+}
+
+func (w *flowWalker) stmts(list []ast.Stmt, st flowState) flowState {
+	for _, s := range list {
+		if st.dead {
+			return st
+		}
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *flowWalker) stmt(s ast.Stmt, st flowState) flowState {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ExprStmt:
+		return w.call(s.X, st)
+	case *ast.DeferStmt:
+		if w.releasesInDefer(s.Call) {
+			st.deferred = true
+		}
+		return st
+	case *ast.ReturnStmt:
+		if st.held && !st.deferred {
+			w.exit(s.Pos(), "return")
+		}
+		st.dead = true
+		return st
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		a := w.stmt(s.Body, st)
+		b := st
+		if s.Else != nil {
+			b = w.stmt(s.Else, st)
+		}
+		return flowMerge(a, b)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		var exits []flowState
+		w.breaks = append(w.breaks, &exits)
+		w.continues = append(w.continues, &exits)
+		after := w.stmt(s.Body, st)
+		w.breaks = w.breaks[:len(w.breaks)-1]
+		w.continues = w.continues[:len(w.continues)-1]
+		out := flowState{dead: true}
+		if s.Cond != nil {
+			// The condition can be false on entry: the loop may run
+			// zero times.
+			out = flowMerge(out, st)
+			out = flowMerge(out, after)
+		}
+		// for {} without a break never falls through; with breaks, the
+		// recorded branch states are the only way out.
+		for _, e := range exits {
+			out = flowMerge(out, e)
+		}
+		return out
+	case *ast.RangeStmt:
+		var exits []flowState
+		w.breaks = append(w.breaks, &exits)
+		w.continues = append(w.continues, &exits)
+		after := w.stmt(s.Body, st)
+		w.breaks = w.breaks[:len(w.breaks)-1]
+		w.continues = w.continues[:len(w.continues)-1]
+		out := flowMerge(st, after) // zero iterations possible
+		for _, e := range exits {
+			out = flowMerge(out, e)
+		}
+		return out
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		return w.clauses(s.Body, st, switchHasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		return w.clauses(s.Body, st, switchHasDefault(s.Body))
+	case *ast.SelectStmt:
+		if len(s.Body.List) == 0 {
+			// select {} blocks forever.
+			st.dead = true
+			return st
+		}
+		// A select always runs exactly one of its cases (a default
+		// counts), so the entry state does not fall through on its own.
+		return w.clauses(s.Body, st, true)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			w.recordBranch(w.breaks, s.Label, st)
+		case token.CONTINUE:
+			w.recordBranch(w.continues, s.Label, st)
+		}
+		// goto and fallthrough: end this path without a verdict
+		// (fallthrough's target case is analyzed from the switch entry
+		// state anyway).
+		st.dead = true
+		return st
+	default:
+		// Assignments, declarations, sends, go statements: no
+		// statement-level effect on the tracked resource (Lock/Store
+		// return nothing, so they cannot hide in subexpressions, and
+		// goroutine bodies are separate functions).
+		return st
+	}
+}
+
+// clauses merges the outcomes of a switch/select body's case clauses.
+// When exhaustive is false (a switch without default), the entry state
+// itself can fall through untouched.
+func (w *flowWalker) clauses(body *ast.BlockStmt, st flowState, exhaustive bool) flowState {
+	var exits []flowState
+	w.breaks = append(w.breaks, &exits)
+	out := flowState{dead: true}
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = flowMerge(out, w.stmts(c.Body, st))
+		case *ast.CommClause:
+			cs := st
+			if c.Comm != nil {
+				cs = w.stmt(c.Comm, cs)
+			}
+			out = flowMerge(out, w.stmts(c.Body, cs))
+		}
+	}
+	w.breaks = w.breaks[:len(w.breaks)-1]
+	for _, e := range exits {
+		out = flowMerge(out, e)
+	}
+	if !exhaustive {
+		out = flowMerge(out, st)
+	}
+	return out
+}
+
+// recordBranch folds st into the jump's target construct. Unlabeled
+// branches go to the innermost target; labeled ones are folded into
+// every enclosing target, which can only make the result more
+// conservative.
+func (w *flowWalker) recordBranch(targets []*[]flowState, label *ast.Ident, st flowState) {
+	if len(targets) == 0 {
+		return
+	}
+	if label == nil {
+		t := targets[len(targets)-1]
+		*t = append(*t, st)
+		return
+	}
+	for _, t := range targets {
+		*t = append(*t, st)
+	}
+}
+
+// exit reports an exit edge to the onExit hook, if one is installed.
+func (w *flowWalker) exit(pos token.Pos, kind string) {
+	if w.hooks.onExit != nil {
+		w.hooks.onExit(pos, kind)
+	}
+}
+
+// call interprets one statement-level expression.
+func (w *flowWalker) call(x ast.Expr, st flowState) flowState {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return st
+	}
+	if w.hooks.onCall != nil {
+		w.hooks.onCall(call, st.held)
+	}
+	if w.hooks.effect != nil {
+		switch w.hooks.effect(call) {
+		case flowAcquire:
+			st.held = true
+		case flowRelease:
+			st.held = false
+		}
+	}
+	switch terminalKind(w.hooks.info, call) {
+	case termPanics:
+		if st.held && !st.deferred {
+			w.exit(call.Pos(), "panic")
+		}
+		st.dead = true
+	case termExits:
+		st.dead = true
+	}
+	return st
+}
+
+// releasesInDefer reports whether a deferred call releases the tracked
+// resource, either directly (defer mu.Unlock()) or inside a deferred
+// function literal.
+func (w *flowWalker) releasesInDefer(call *ast.CallExpr) bool {
+	if w.hooks.effect == nil {
+		return false
+	}
+	if w.hooks.effect(call) == flowRelease {
+		return true
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && w.hooks.effect(c) == flowRelease {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// terminalKind classifies calls that end the current path: the panic
+// builtin and log.Panic* unwind, os.Exit and log.Fatal* end the
+// process. runtime.Goexit runs defers on its way out, so it counts as
+// a return edge for lock purposes — but nothing in this module uses
+// it, and treating it as non-terminal only makes the walk more
+// conservative.
+func terminalKind(info *types.Info, call *ast.CallExpr) termKind {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return termPanics
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return termNone
+	}
+	switch fn.Pkg().Path() {
+	case "log":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "Fatalln":
+			return termExits
+		case "Panic", "Panicf", "Panicln":
+			return termPanics
+		}
+	case "os":
+		if fn.Name() == "Exit" {
+			return termExits
+		}
+	}
+	return termNone
+}
+
+// inspectShallow walks root without descending into nested function
+// literals, so a per-function analysis never sees another function's
+// statements. root itself may be (inside) a literal.
+func inspectShallow(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// mutexCall resolves call to a sync.Mutex / sync.RWMutex method
+// invocation (possibly through embedding), returning the rendered
+// receiver expression as the lock key ("s.mu") and the method name
+// ("Lock", "Unlock", "RLock", "RUnlock", "TryLock", ...).
+func mutexCall(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	if !isSyncType(sig.Recv().Type(), "Mutex") && !isSyncType(sig.Recv().Type(), "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// atomicPointerCall reports whether call invokes the named method
+// (e.g. "Load", "Store") on a sync/atomic.Pointer[T] receiver.
+func atomicPointerCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isPkgType(sig.Recv().Type(), "sync/atomic", "Pointer")
+}
+
+// waitGroupCall resolves call to a sync.WaitGroup method invocation,
+// returning the rendered receiver expression and method name.
+func waitGroupCall(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	if !isSyncType(sig.Recv().Type(), "WaitGroup") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// isSyncType reports whether t (possibly a pointer) is sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	return isPkgType(t, "sync", name)
+}
+
+// isPkgType reports whether t (possibly behind one pointer) is the
+// named type pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

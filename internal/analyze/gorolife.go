@@ -1,0 +1,86 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// gorolifeCheck enforces the goroutine-lifecycle contract: study and
+// serving code does not spawn raw goroutines. Concurrency flows
+// through the internal/parallel pool (deterministic fan-out, joined
+// fan-in) or the cli.HTTPServer lifecycle (listener goroutine owned by
+// StartHTTP/Shutdown); those two packages are the only sanctioned `go`
+// sites. Everywhere else a goroutine must be provably joined in the
+// spawning function — a `go func(){ ... wg.Done() ... }()` literal
+// whose WaitGroup is Wait()ed in the same function — or carry
+// //lint:allow(gorolife) naming its shutdown owner.
+var gorolifeCheck = &Check{
+	Name: "gorolife",
+	Doc:  "no raw go statements outside internal/parallel and the cli.HTTPServer lifecycle; goroutines are pool-run, WaitGroup-joined in-function, or allow-listed with a shutdown owner",
+	Run:  runGorolife,
+}
+
+// goroutineOwnerPackages may use raw go statements: they own the two
+// sanctioned goroutine lifecycles (pool workers; HTTP listeners).
+var goroutineOwnerPackages = map[string]bool{
+	"ogdp/internal/parallel": true,
+	"ogdp/cmd/internal/cli":  true,
+}
+
+func runGorolife(p *Pass) {
+	if goroutineOwnerPackages[p.Pkg.Path] {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, fb := range funcBodies(file) {
+			runGorolifeFunc(p, fb.body)
+		}
+	}
+}
+
+func runGorolifeFunc(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+
+	// WaitGroups this function joins: wg.Wait() at this function's
+	// level makes a `go func(){ defer wg.Done() }()` here accountable.
+	waited := map[string]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, method, ok := waitGroupCall(info, call); ok && method == "Wait" {
+				waited[key] = true
+			}
+		}
+		return true
+	})
+
+	inspectShallow(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goStmtJoined(info, g, waited) {
+			return true
+		}
+		p.Reportf(g.Pos(), "raw go statement: run it on the internal/parallel pool, join it with a WaitGroup in this function, or add //lint:allow(gorolife) naming the shutdown owner")
+		return true
+	})
+}
+
+// goStmtJoined reports whether the spawned goroutine is a function
+// literal that signals a WaitGroup the spawning function waits on.
+func goStmtJoined(info *types.Info, g *ast.GoStmt, waited map[string]bool) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, method, ok := waitGroupCall(info, call); ok && method == "Done" && waited[key] {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}

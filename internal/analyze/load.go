@@ -58,9 +58,11 @@ type Program struct {
 // are about study outputs, and test files routinely use wall-clock
 // timeouts and ad-hoc randomness on purpose.
 type Loader struct {
-	fset *token.FileSet
-	std  types.ImporterFrom
-	mod  map[string]*types.Package // checked module packages by import path
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	mod   map[string]*types.Package // checked module packages by import path
+	progs map[string]*Program       // memoized Load results by absolute root
+	dirs  map[string]*Package       // memoized LoadDir results by dir + import path
 }
 
 // NewLoader returns a Loader with an empty cache. It disables cgo in
@@ -70,9 +72,11 @@ func NewLoader() *Loader {
 	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
 	return &Loader{
-		fset: fset,
-		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		mod:  map[string]*types.Package{},
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		mod:   map[string]*types.Package{},
+		progs: map[string]*Program{},
+		dirs:  map[string]*Package{},
 	}
 }
 
@@ -80,10 +84,17 @@ func NewLoader() *Loader {
 // parses every non-test package outside testdata/ and hidden
 // directories, and type-checks them in dependency order. The returned
 // Program lists packages sorted by import path.
+//
+// Results are memoized per absolute root: every check, golden test,
+// and self-check sharing one Loader shares one type-checked module
+// instead of re-parsing it per caller.
 func (l *Loader) Load(root string) (*Program, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
+	}
+	if prog, ok := l.progs[root]; ok {
+		return prog, nil
 	}
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
@@ -128,6 +139,7 @@ func (l *Loader) Load(root string) (*Program, error) {
 		prog.Pkgs = append(prog.Pkgs, pkg)
 	}
 	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	l.progs[root] = prog
 	return prog, nil
 }
 
@@ -136,11 +148,16 @@ func (l *Loader) Load(root string) (*Program, error) {
 // entry point: testdata packages get whatever import path the test
 // assigns (a study-package path makes path-scoped checks apply).
 // Imports must resolve from the standard library or from module
-// packages already loaded through this Loader.
+// packages already loaded through this Loader. Results are memoized
+// per (dir, import path) pair.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	dir, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
+	}
+	key := dir + "\x00" + importPath
+	if pkg, ok := l.dirs[key]; ok {
+		return pkg, nil
 	}
 	pkg, err := l.parseDir(dir, importPath)
 	if err != nil {
@@ -152,6 +169,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	if err := l.check(pkg, importPath); err != nil {
 		return nil, err
 	}
+	l.dirs[key] = pkg
 	return pkg, nil
 }
 

@@ -1,0 +1,110 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// lockpathCheck enforces lock discipline on the build-mutex slow paths
+// and every other critical section: a function that takes a
+// Lock/RLock must release it on every exit path — a defer registered
+// before any exit, or an explicit unlock on each return edge (panic
+// edges need the defer). A lock handed off to another function for
+// unlocking is flagged at the acquisition site unless an allow comment
+// names the unlock owner.
+var lockpathCheck = &Check{
+	Name: "lockpath",
+	Doc:  "a Lock()/RLock() is released on every exit path of the acquiring function (defer, or unlock on each return/panic edge)",
+	Run:  runLockpath,
+}
+
+// lockSite is one (key, read/write) lock the walk tracks through a
+// function, anchored at its first acquisition.
+type lockSite struct {
+	key  string
+	read bool
+	pos  token.Pos
+	line int
+}
+
+func runLockpath(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, fb := range funcBodies(file) {
+			runLockpathFunc(p, fb.body)
+		}
+	}
+}
+
+func runLockpathFunc(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+
+	// Collect the locks this function acquires, keyed so a RLock and a
+	// Lock on the same mutex are tracked independently (they pair with
+	// different unlocks).
+	sites := map[string]*lockSite{}
+	var order []string
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := mutexCall(info, call)
+		if !ok || (method != "Lock" && method != "RLock") {
+			return true
+		}
+		id := key + "\x00" + method
+		if _, seen := sites[id]; !seen {
+			sites[id] = &lockSite{
+				key:  key,
+				read: method == "RLock",
+				pos:  call.Pos(),
+				line: p.Pkg.Fset.Position(call.Pos()).Line,
+			}
+			order = append(order, id)
+		}
+		return true
+	})
+	sort.Strings(order) // deterministic walk order per function
+
+	for _, id := range order {
+		site := sites[id]
+		lockName, unlockName := "Lock", "Unlock"
+		if site.read {
+			lockName, unlockName = "RLock", "RUnlock"
+		}
+		var leaks []string
+		flowWalk(body, flowHooks{
+			info: info,
+			effect: func(call *ast.CallExpr) flowEffect {
+				key, method, ok := mutexCall(info, call)
+				if !ok || key != site.key {
+					return flowNone
+				}
+				switch method {
+				case lockName:
+					return flowAcquire
+				case unlockName:
+					return flowRelease
+				}
+				return flowNone
+			},
+			onExit: func(pos token.Pos, kind string) {
+				leaks = append(leaks, kindAtLine(p, pos, kind))
+			},
+		})
+		if len(leaks) > 0 {
+			p.Reportf(site.pos, "%s.%s() is not released on every exit path (%s); defer %s.%s() or unlock on each edge, or //lint:allow(lockpath) naming the unlock owner",
+				site.key, lockName, leaks[0], site.key, unlockName)
+		}
+	}
+}
+
+// kindAtLine renders an exit edge for the finding message.
+func kindAtLine(p *Pass, pos token.Pos, kind string) string {
+	if kind == "end of function" {
+		return kind
+	}
+	return fmt.Sprintf("%s at line %d", kind, p.Pkg.Fset.Position(pos).Line)
+}

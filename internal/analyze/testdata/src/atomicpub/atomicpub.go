@@ -1,0 +1,67 @@
+// Package atomicpub exercises the publication-protocol check: a Store
+// into an atomic.Pointer runs under the owning build mutex (or into a
+// still-private value), and nothing writes through a Load.
+package atomicpub
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type payload struct {
+	n    int
+	tags []string
+}
+
+type box struct {
+	mu  sync.Mutex
+	ptr atomic.Pointer[payload]
+}
+
+// ok: the canonical slow path — Lock, double-check, build, Store,
+// Unlock.
+func (b *box) publish(n int) *payload {
+	if p := b.ptr.Load(); p != nil {
+		return p
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p := b.ptr.Load(); p != nil {
+		return p
+	}
+	p := &payload{n: n}
+	b.ptr.Store(p)
+	return p
+}
+
+// bad: publication with no lock held and no fresh receiver.
+func (b *box) racyPublish(p *payload) {
+	b.ptr.Store(p) // finding
+}
+
+// ok: Store into a still-private value — the box was built in this
+// function and no reader can have seen it yet.
+func newBox(n int) *box {
+	b := &box{}
+	b.ptr.Store(&payload{n: n})
+	return b
+}
+
+// bad: writes through a Load mutate published state, directly or via
+// a local alias of the Load result.
+func (b *box) mutateLoaded() {
+	b.ptr.Load().n = 1 // finding
+	p := b.ptr.Load()
+	p.n = 2         // finding
+	p.tags[0] = "x" // finding
+}
+
+// ok: reading through a Load is the fast path working as designed.
+func (b *box) read() int {
+	return b.ptr.Load().n
+}
+
+//lint:allow(atomicpub) init-time single writer: seed runs before any reader goroutine starts
+func (b *box) seed(p *payload) {
+	b.ptr.Store(p)
+}

@@ -1,0 +1,85 @@
+// Package ctxloop exercises the serving-loop cancellation check: a
+// for+select loop in serving/fetch code observes shutdown through a
+// ctx.Done() or equivalent close-signal case. The test loads it under
+// a cmd/ import path so the path-scoped check applies.
+package ctxloop
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// ok: ctx.Done() case.
+func pollCtx(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// ok: a close-signal channel (chan struct{}) is equivalent.
+func pollStop(stop chan struct{}, tick *time.Ticker) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// ok: a signal.Notify channel is a shutdown source.
+func waitSignals(sigs chan os.Signal, work chan int) {
+	for {
+		select {
+		case <-sigs:
+			return
+		case <-work:
+		}
+	}
+}
+
+// bad: a ticker-only loop never exits on shutdown.
+func tickerOnly(tick *time.Ticker, out chan<- int) {
+	for { // finding
+		select {
+		case <-tick.C:
+			out <- 1
+		}
+	}
+}
+
+// bad: a data-only pump; default is polling, not cancellation.
+func pump(in <-chan int, out chan<- int) {
+	for { // finding
+		select {
+		case v := <-in:
+			out <- v
+		default:
+		}
+	}
+}
+
+// ok: loops without a select are out of scope.
+func busy(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+//lint:allow(ctxloop) exit owner: the caller closes lines on stdin EOF, ending the loop
+func repl(lines chan string) {
+	for {
+		select {
+		case l := <-lines:
+			_ = l
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package gorolife exercises the goroutine-lifecycle check: no raw go
+// statements unless the goroutine is WaitGroup-joined in the spawning
+// function or an allow comment names its shutdown owner.
+package gorolife
+
+import "sync"
+
+// ok: joined in-function — the literal signals a WaitGroup this
+// function waits on.
+func fanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j()
+		}()
+	}
+	wg.Wait()
+}
+
+// bad: fire-and-forget.
+func fireAndForget(f func()) {
+	go f() // finding
+}
+
+// bad: the WaitGroup is signaled but never waited on here, so nothing
+// in this function accounts for the goroutine's lifetime.
+func halfJoined(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // finding
+		defer wg.Done()
+		f()
+	}()
+}
+
+// bad: raw named-function goroutine.
+func spawnWorker() {
+	go worker() // finding
+}
+
+func worker() {}
+
+//lint:allow(gorolife) shutdown owner: Shutdown closes done, which ends this goroutine
+func allowed(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}

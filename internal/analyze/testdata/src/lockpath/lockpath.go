@@ -1,0 +1,77 @@
+// Package lockpath exercises the lock-discipline check: every
+// Lock/RLock is released on every exit path of the acquiring
+// function.
+package lockpath
+
+import "sync"
+
+type store struct {
+	mu   sync.RWMutex
+	vals map[string]int
+}
+
+// ok: defer covers every edge, including panics.
+func (s *store) get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.vals[k]
+}
+
+// ok: explicit unlock on each return edge.
+func (s *store) put(k string, v int) bool {
+	s.mu.Lock()
+	if s.vals == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.vals[k] = v
+	s.mu.Unlock()
+	return true
+}
+
+// bad: the early return leaks the write lock.
+func (s *store) leakyPut(k string, v int) bool {
+	s.mu.Lock() // finding
+	if s.vals == nil {
+		return false
+	}
+	s.vals[k] = v
+	s.mu.Unlock()
+	return true
+}
+
+// bad: the panic edge escapes with the read lock held; only a defer
+// covers unwinding.
+func (s *store) mustGet(k string) int {
+	s.mu.RLock() // finding
+	v, ok := s.vals[k]
+	if !ok {
+		panic("missing " + k)
+	}
+	s.mu.RUnlock()
+	return v
+}
+
+// bad: falls off the end still holding the lock — a cross-function
+// handoff needs an allow naming the unlock owner.
+func (s *store) lockForBatch() {
+	s.mu.Lock() // finding
+}
+
+// ok: balanced within each loop iteration.
+func (s *store) sweep(keys []string) {
+	for _, k := range keys {
+		s.mu.Lock()
+		delete(s.vals, k)
+		s.mu.Unlock()
+	}
+}
+
+//lint:allow(lockpath) handoff: endBatch is the unlock owner; callers pair the two
+func (s *store) beginBatch() {
+	s.mu.Lock()
+}
+
+func (s *store) endBatch() {
+	s.mu.Unlock()
+}

@@ -3,7 +3,10 @@
 // unknown-name diagnostic. The golden test runs the full suite here.
 package suppress
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Line-level selectivity: this line carries a floatcmp finding and a
 // wraperr finding; the allow names only floatcmp, so wraperr survives
@@ -45,3 +48,22 @@ func afterScoped(a, b float64) bool {
 }
 
 var _ = fmt.Sprint("x") //lint:allow(nosuchcheck) typo'd name is itself reported
+
+// New-check selectivity: the allow names only lockpath, so the
+// cross-function lock handoff is sanctioned while the raw go
+// statement on the next line keeps its gorolife finding.
+var handMu sync.Mutex
+
+//lint:allow(lockpath) handoff: unlockHandoff is the unlock owner; callers pair the two
+func lockHandoff(ready chan struct{}) {
+	handMu.Lock()
+	go notify(ready) // finding: gorolife survives the lockpath-only allow
+}
+
+func unlockHandoff() {
+	handMu.Unlock()
+}
+
+func notify(ready chan struct{}) {
+	ready <- struct{}{}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStressAdmissionEvictionDrain drives the three serve-layer
+// mechanisms the endpoint tests only exercise pairwise — admission
+// timeouts and 429 backpressure (two slots, two queue places, a 5ms
+// deadline), LRU eviction (eight distinct cacheable queries over a
+// four-entry cache), and SIGTERM-style drain (http.Server.Shutdown
+// fired mid-burst) — all at once, so -race can observe their
+// interleavings.
+func TestStressAdmissionEvictionDrain(t *testing.T) {
+	srv := fixtureServer(t, Options{
+		MaxConcurrent: 2,
+		QueueDepth:    2,
+		Timeout:       5 * time.Millisecond,
+		CacheEntries:  4,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Twice as many distinct query keys as cache entries keeps the LRU
+	// evicting for the whole run while hits and misses interleave.
+	paths := []string{
+		"/profile?table=species.csv",
+		"/profile?table=landings.csv",
+		"/profile?table=parts-2019.csv",
+		"/profile?table=parts-2020.csv",
+		"/join?table=landings.csv&col=species",
+		"/join?table=species.csv&col=species",
+		"/union?table=parts-2019.csv",
+		"/fd?table=landings.csv&lhs=2",
+	}
+
+	const (
+		workers = 8
+		drainAt = 150 // responses received before Shutdown fires
+	)
+	var (
+		completed    atomic.Int64 // responses with any status
+		ok200        atomic.Int64
+		rejected429  atomic.Int64
+		timedOut503  atomic.Int64
+		unexpected   atomic.Int64
+		earlyConnErr atomic.Int64 // transport errors before drain began
+		drainStarted atomic.Bool
+	)
+	client := &http.Client{Transport: &http.Transport{}}
+	defer client.CloseIdleConnections()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(base + paths[(w+i)%len(paths)])
+				if err != nil {
+					// Refused/reset connections are the expected shape
+					// once drain has begun; before that they are bugs.
+					if !drainStarted.Load() {
+						earlyConnErr.Add(1)
+						t.Errorf("worker %d: transport error before drain: %v", w, err)
+					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				completed.Add(1)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusTooManyRequests:
+					rejected429.Add(1)
+				case http.StatusServiceUnavailable:
+					timedOut503.Add(1)
+				default:
+					unexpected.Add(1)
+					t.Errorf("worker %d: unexpected status %d on %s", w, resp.StatusCode, paths[(w+i)%len(paths)])
+				}
+			}
+		}(w)
+	}
+
+	// Let the burst run, then drain mid-load the way the SIGTERM
+	// handler does: Shutdown must wait out in-flight queries and
+	// return cleanly while workers are still firing.
+	deadline := time.Now().Add(10 * time.Second)
+	for completed.Load() < drainAt {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d responses after 10s; admission gate may be wedged", completed.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drainStarted.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Errorf("drain did not complete: %v", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	t.Logf("responses=%d ok=%d rejected=%d timedout=%d cacheLen=%d",
+		completed.Load(), ok200.Load(), rejected429.Load(), timedOut503.Load(), srv.CacheLen())
+	if ok200.Load() == 0 {
+		t.Error("no request succeeded under stress; admission or cache path is broken")
+	}
+	if n := srv.CacheLen(); n > 4 {
+		t.Errorf("cache holds %d entries, cap is 4: eviction failed under concurrency", n)
+	}
+	if unexpected.Load() > 0 || earlyConnErr.Load() > 0 {
+		t.Errorf("%d unexpected statuses, %d pre-drain transport errors", unexpected.Load(), earlyConnErr.Load())
+	}
+}
