@@ -7,14 +7,17 @@
 // optionally a column), it prints the top-k joinable columns by exact
 // value overlap (the JOSIE-style operation behind Auctus and Toronto
 // Open Data Search), the same search accelerated with MinHash/LSH for
-// comparison, and the unionable tables, ranked. -mode profile prints
-// the per-column profile; -mode fd the minimal functional
-// dependencies.
+// comparison, and the unionable tables, ranked. -mode rank prints the
+// table-level ranked integration hypotheses (the /search endpoint's
+// semantics: value, schema, and metadata evidence combined into one
+// weighted score); -mode profile the per-column profile; -mode fd the
+// minimal functional dependencies.
 //
 // Usage:
 //
 //	ogdpgen -portal CA -scale 0.1 -out /tmp/corpus
 //	ogdpsearch -dir /tmp/corpus -query fish-landings-part1-4.csv -col species -k 5
+//	ogdpsearch -dir /tmp/corpus -query fish-landings-part1-4.csv -mode rank
 //	ogdpsearch -dir /tmp/corpus -query fish-landings-part1-4.csv -mode fd
 package main
 
@@ -40,7 +43,7 @@ func main() {
 	qname := flag.String("query", "", "query table file name within -dir (required)")
 	col := flag.String("col", "", "query column name (default: first join-eligible column)")
 	k := flag.Int("k", 5, "top-k results")
-	mode := flag.String("mode", "search", "what to run: search, profile, or fd")
+	mode := flag.String("mode", "search", "what to run: search, rank, profile, or fd")
 	lhs := flag.Int("lhs", 0, "-mode fd: max left-hand-side size (0 = the paper's bound)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical)")
 	ob := cli.StandardObs()
@@ -69,10 +72,10 @@ func main() {
 	switch *mode {
 	case "search":
 		runSearch(ob, svc, c, ti, *col, *k)
-	case "profile", "fd":
+	case "rank", "profile", "fd":
 		span := ob.Trace().Child(*mode)
 		out, err := svc.Do(context.Background(), query.Request{
-			Kind: *mode, Table: *qname, MaxLHS: *lhs,
+			Kind: *mode, Table: *qname, K: *k, MaxLHS: *lhs,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -80,7 +83,7 @@ func main() {
 		span.End()
 		fmt.Print(out)
 	default:
-		log.Fatalf("unknown -mode %q (want search, profile, or fd)", *mode)
+		log.Fatalf("unknown -mode %q (want search, rank, profile, or fd)", *mode)
 	}
 	sw.PrintCompleted(os.Stdout)
 	if err := ob.Finish(os.Stdout); err != nil {

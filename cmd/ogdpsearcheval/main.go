@@ -1,0 +1,149 @@
+// Command ogdpsearcheval evaluates the ranked table-search engine
+// against the generator's planted ground truth: it generates the four
+// paper portals, grades every query/candidate table pair with the
+// labeling oracle (gen.Truth), ranks every table against the rest of
+// its corpus, and reports precision@k, recall@k, and NDCG@k for the
+// exact candidate path and several LSH band settings, with the
+// engine's candidate/verification work counters alongside so quality
+// can be read against work.
+//
+// Usage:
+//
+//	ogdpsearcheval                            # evaluate, print JSON
+//	ogdpsearcheval -out BENCH_search.json     # also write the JSON to a file
+//	ogdpsearcheval -check                     # exit non-zero below the NDCG floor
+//	ogdpsearcheval -check -floor 0.95         # pin the floor explicitly
+//
+// The -check floor applies to the exact path and the recall-safe
+// default band setting (64×2) — the configurations the /search
+// endpoint actually runs. The lower-band settings (16×8, 32×4) are
+// measured to chart the recall-vs-work tradeoff and may legitimately
+// fall below the floor.
+//
+// Timing lives here, in the cmd/ layer: the eval package itself is
+// clock-free so its metrics are byte-identical for every worker count.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"ogdp/internal/gen"
+	"ogdp/internal/search"
+	"ogdp/internal/search/eval"
+)
+
+// config is one candidate-generation setting under evaluation.
+type config struct {
+	Name    string
+	Opts    search.Options
+	Checked bool // counts toward the -check floor
+}
+
+// configs lists the evaluated settings: the exact scan, the engine's
+// recall-safe default banding, and two cheaper band settings that
+// chart the recall-vs-work tradeoff. All index under the paper's
+// distinct-value filter, like the served engine.
+func configs() []config {
+	return []config{
+		{Name: "exact", Opts: search.Options{MinUnique: search.MinUniqueDefault, ExactCutoff: math.MaxInt}, Checked: true},
+		{Name: "lsh-64x2", Opts: search.Options{MinUnique: search.MinUniqueDefault, ExactCutoff: 1, Bands: 64, Rows: 2}, Checked: true},
+		{Name: "lsh-32x4", Opts: search.Options{MinUnique: search.MinUniqueDefault, ExactCutoff: 1, Bands: 32, Rows: 4}},
+		{Name: "lsh-16x8", Opts: search.Options{MinUnique: search.MinUniqueDefault, ExactCutoff: 1, Bands: 16, Rows: 8}},
+	}
+}
+
+// entry is one (portal, config) evaluation.
+type entry struct {
+	Portal string `json:"portal"`
+	Config string `json:"config"`
+	eval.Result
+	Seconds float64 `json:"seconds"`
+}
+
+// result is the harness's JSON document; BENCH_search.json at the
+// repo root is one of these, produced with -out.
+type result struct {
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+	K       int     `json:"k"`
+	Entries []entry `json:"entries"`
+	// MinCheckedNDCG is the smallest NDCG@k across the checked
+	// configurations (exact and the default banding) on all portals —
+	// the number -check compares against the floor.
+	MinCheckedNDCG float64 `json:"min_checked_ndcg"`
+	Floor          float64 `json:"floor"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ogdpsearcheval: ")
+
+	scale := flag.Float64("scale", 0.1, "corpus scale per portal")
+	seed := flag.Int64("seed", 1, "generation seed")
+	k := flag.Int("k", eval.DefaultK, "ranking depth for the @k metrics")
+	portals := flag.String("portals", "SG,CA,UK,US", "comma-separated portal codes")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs; results are identical)")
+	out := flag.String("out", "", "also write the JSON result to this file")
+	check := flag.Bool("check", false, "exit 1 when a checked config's NDCG misses the floor")
+	floor := flag.Float64("floor", 0.9, "NDCG@k floor for -check")
+	flag.Parse()
+
+	res := result{Scale: *scale, Seed: *seed, K: *k, MinCheckedNDCG: math.Inf(1), Floor: *floor}
+	for _, code := range strings.Split(*portals, ",") {
+		code = strings.TrimSpace(code)
+		if code == "" {
+			continue
+		}
+		prof, ok := gen.ProfileByName(code)
+		if !ok {
+			log.Fatalf("unknown portal %q (want one of SG, CA, UK, US)", code)
+		}
+		c := gen.Generate(prof, *scale, *seed)
+		grades := eval.Grades(c)
+		for _, cfg := range configs() {
+			start := time.Now()
+			r := eval.Evaluate(c, grades, cfg.Opts, *k, *workers)
+			secs := time.Since(start).Seconds()
+			res.Entries = append(res.Entries, entry{
+				Portal: code, Config: cfg.Name, Result: r,
+				Seconds: round(secs),
+			})
+			fmt.Fprintf(os.Stderr, "%s %-8s  ndcg@%d=%.3f p@%d=%.3f r@%d=%.3f  verified=%d  %.2fs\n",
+				code, cfg.Name, *k, r.NDCG, *k, r.Precision, *k, r.Recall, r.Verified, secs)
+			if cfg.Checked && r.NDCG < res.MinCheckedNDCG {
+				res.MinCheckedNDCG = r.NDCG
+			}
+		}
+	}
+	if math.IsInf(res.MinCheckedNDCG, 1) {
+		log.Fatal("no portals evaluated")
+	}
+
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc = append(doc, '\n')
+	os.Stdout.Write(doc)
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *check && res.MinCheckedNDCG < *floor {
+		log.Fatalf("FAIL: NDCG@%d %.3f below floor %.3f on a checked configuration",
+			*k, res.MinCheckedNDCG, *floor)
+	}
+}
+
+func round(f float64) float64 {
+	return float64(int(f*100+0.5)) / 100
+}

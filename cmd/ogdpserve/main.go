@@ -13,6 +13,7 @@
 //
 //	/join?table=T&col=C&k=N     top-k joinable columns (JOSIE semantics)
 //	/union?table=T&k=N          unionable tables, ranked
+//	/search?table=T&k=N         ranked integration hypotheses (LSH-accelerated)
 //	/profile?table=T            per-column profile
 //	/fd?table=T&lhs=N           minimal functional dependencies
 //	/tables                     corpus inventory (JSON)
@@ -76,9 +77,13 @@ func main() {
 			log.Printf("skipped %s", s)
 		}
 	}
-	svc := query.New(src, query.Options{Workers: *workers})
+	svc := query.New(src, query.Options{Workers: *workers, Registry: ob.Registry()})
 	log.Printf("loaded %d tables, %d join-indexed columns from %s in %s",
 		svc.NumTables(), svc.NumIndexed(), *dir, time.Since(start).Round(time.Millisecond))
+	if sk := svc.IndexSkips(); sk.MinUnique+sk.Empty > 0 {
+		log.Printf("search index skipped %d columns below the distinct-value bar, %d with no values",
+			sk.MinUnique, sk.Empty)
+	}
 
 	srv := serve.New(svc, serve.Options{
 		Workers:       *workers,

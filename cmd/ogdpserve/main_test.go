@@ -94,6 +94,8 @@ func TestServeEndToEnd(t *testing.T) {
 			"-dir", corpus, "-query", "species.csv", "-mode", "profile")},
 		{"/fd?table=species.csv", runCLI(t, filepath.Join(bin, "ogdpsearch"),
 			"-dir", corpus, "-query", "species.csv", "-mode", "fd")},
+		{"/search?table=landings.csv&k=5", runCLI(t, filepath.Join(bin, "ogdpsearch"),
+			"-dir", corpus, "-query", "landings.csv", "-mode", "rank", "-k", "5")},
 	} {
 		resp, err := http.Get(base + tc.path)
 		if err != nil {

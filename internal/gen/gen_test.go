@@ -409,3 +409,43 @@ func BenchmarkJoinOverCorpus(b *testing.B) {
 		join.Find(tabs, join.Options{})
 	}
 }
+
+// TestIntegrationGrade pins the ranked-search ground truth: grades
+// are in range, zero on the diagonal, symmetric, and consistent with
+// the pairwise labels they are derived from.
+func TestIntegrationGrade(t *testing.T) {
+	c := testCorpus(t, CA())
+	oracle := Truth(c)
+	n := len(c.Metas)
+	counts := [3]int{}
+	for q := 0; q < n; q++ {
+		for p := 0; p < n; p++ {
+			g := oracle.IntegrationGrade(q, p)
+			if g < 0 || g > 2 {
+				t.Fatalf("grade [%d][%d] = %d out of range", q, p, g)
+			}
+			counts[g]++
+			if q == p && g != 0 {
+				t.Errorf("self-grade [%d] = %d", q, g)
+			}
+			if back := oracle.IntegrationGrade(p, q); back != g {
+				t.Errorf("asymmetric grade: [%d][%d]=%d but [%d][%d]=%d", q, p, g, p, q, back)
+			}
+		}
+	}
+	if counts[2] == 0 {
+		t.Error("no useful pairs graded 2; generator plants them")
+	}
+	if counts[0] == 0 {
+		t.Error("no irrelevant pairs graded 0")
+	}
+	// A planted useful join must always lift the pair to grade 2.
+	ja := join.Find(c.Tables(), join.Options{})
+	for _, p := range ja.Pairs {
+		if oracle.LabelJoin(p) == classify.LabelUseful {
+			if g := oracle.IntegrationGrade(p.T1, p.T2); g != 2 {
+				t.Errorf("useful join pair (%d,%d) graded %d", p.T1, p.T2, g)
+			}
+		}
+	}
+}

@@ -76,6 +76,39 @@ func isEntityJoinRole(r ColumnRole) bool {
 	return false
 }
 
+// IntegrationGrade grades table t2 as an integration partner for
+// query table t1 (indices into corpus.Tables()), for ranked-search
+// evaluation. The grades follow the labeling study's usefulness
+// ladder: 2 for a Useful planted join (any column pair LabelJoin says
+// Useful) or a Useful union (exact schema match with LabelUnion
+// Useful), 1 for a related-accidental union (duplicate
+// republications: same data, so retrieving it is defensible but not
+// useful), 0 for everything else.
+func (o *Oracle) IntegrationGrade(t1, t2 int) int {
+	if t1 == t2 {
+		return 0
+	}
+	m1 := o.corpus.Metas[t1]
+	m2 := o.corpus.Metas[t2]
+	for c1 := range m1.Cols {
+		for c2 := range m2.Cols {
+			p := join.Pair{T1: t1, C1: c1, T2: t2, C2: c2}
+			if o.LabelJoin(p) == classify.LabelUseful {
+				return 2
+			}
+		}
+	}
+	if m1.Table.SchemaKey() == m2.Table.SchemaKey() {
+		switch o.LabelUnion(t1, t2) {
+		case classify.LabelUseful:
+			return 2
+		case classify.LabelRAcc:
+			return 1
+		}
+	}
+	return 0
+}
+
 // LabelUnion labels a unionable pair of tables (indices into
 // corpus.Tables()). Periodic and partitioned same-schema publications
 // are useful unions; SG's standardized schemas across unrelated topics

@@ -103,6 +103,29 @@ func (ix *Index) bandHash(sig Signature, band int) uint64 {
 	return h
 }
 
+// Candidates returns the ids of indexed signatures that collide with
+// sig in at least one band, in ascending id order, without computing
+// similarity estimates. This is the raw LSH candidate set: the caller
+// owns verification (exact overlap, estimate filtering), which is how
+// the ranked search engine uses banding — candidates are generated
+// here in sublinear time and verified against the true value sets
+// afterwards.
+func (ix *Index) Candidates(sig Signature) []int {
+	seen := map[int]struct{}{}
+	var out []int
+	for b := 0; b < ix.bands; b++ {
+		for _, id := range ix.tables[ix.bandHash(sig, b)] {
+			if _, ok := seen[id]; ok {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Candidate is a query result.
 type Candidate struct {
 	ID int

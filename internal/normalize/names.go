@@ -1,0 +1,65 @@
+package normalize
+
+import "strings"
+
+// SchemaNameSimilarity measures how similar two schemas' column names
+// are: the Jaccard similarity of their normalized name-token sets.
+// Names are case-folded and split on non-alphanumeric runs, so
+// "Species_ID" and "species id" contribute the same tokens; purely
+// numeric tokens are dropped so periodic suffixes ("2019", "part2") do
+// not dominate. The score is a ranked-search signal: schemas that
+// describe the same kind of record share most name tokens even when
+// column order or exact spelling differs, which is the schema-level
+// half of an integration hypothesis (the value-level half is measured
+// on the column contents).
+func SchemaNameSimilarity(a, b []string) float64 {
+	ta := schemaTokens(a)
+	tb := schemaTokens(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	for tok := range ta {
+		if _, ok := tb[tok]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(ta)+len(tb)-inter)
+}
+
+// schemaTokens is the normalized token set of a column-name list.
+func schemaTokens(cols []string) map[string]struct{} {
+	out := map[string]struct{}{}
+	for _, name := range cols {
+		for _, tok := range nameTokens(name) {
+			out[tok] = struct{}{}
+		}
+	}
+	return out
+}
+
+// nameTokens splits one column name into normalized tokens: lower-case
+// alphanumeric runs with purely numeric runs removed.
+func nameTokens(name string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(name), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9')
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if isNumeric(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// isNumeric reports whether s is a non-empty digit run.
+func isNumeric(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

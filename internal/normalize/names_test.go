@@ -1,0 +1,35 @@
+package normalize
+
+import "testing"
+
+func TestSchemaNameSimilarity(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		a, b     []string
+		min, max float64
+	}{
+		{"identical", []string{"species_id", "region"}, []string{"species_id", "region"}, 1, 1},
+		{"case and separators fold", []string{"Species_ID"}, []string{"species id"}, 1, 1},
+		{"numeric suffixes dropped", []string{"count_2019"}, []string{"count_2020"}, 1, 1},
+		{"disjoint", []string{"species", "region"}, []string{"budget", "fund"}, 0, 0},
+		{"partial overlap", []string{"station_id", "name"}, []string{"station_id", "count"}, 0.5, 0.5},
+		{"empty side", nil, []string{"a"}, 0, 0},
+		{"purely numeric names", []string{"2019"}, []string{"2019"}, 0, 0},
+	} {
+		got := SchemaNameSimilarity(tc.a, tc.b)
+		if got < tc.min || got > tc.max {
+			t.Errorf("%s: SchemaNameSimilarity(%v, %v) = %v, want in [%v, %v]",
+				tc.name, tc.a, tc.b, got, tc.min, tc.max)
+		}
+	}
+}
+
+func TestSchemaNameSimilaritySymmetric(t *testing.T) {
+	a := []string{"species_id", "landed_weight", "year"}
+	b := []string{"species", "weight_kg"}
+	x := SchemaNameSimilarity(a, b)
+	y := SchemaNameSimilarity(b, a)
+	if x < y || x > y {
+		t.Errorf("not symmetric: %v vs %v", x, y)
+	}
+}

@@ -1,0 +1,25 @@
+// Package query is the shared execution-and-rendering layer behind
+// the interactive query surfaces: the ogdpserve HTTP service and the
+// one-shot ogdpsearch CLI both answer join-search, union-search,
+// ranked table-search, profile, and FD queries through the one
+// Service here, which is what makes the server's response bodies
+// byte-identical to the CLI's output for the same query — the
+// contract the serve tests pin.
+//
+// The query kinds mirror the integration operations the paper's
+// dataset-search survey (§2) treats as primitives: joinability and
+// unionability discovery (§4–§5, the Auctus/JOSIE operations),
+// column profiling (§3's design-smell measurements), and functional-
+// dependency plausibility (§6). KindRank is the ranked composite —
+// one table in, a scored list of integration hypotheses out — built
+// on internal/search's ranked tier.
+//
+// A Service is built once over an immutable corpus.Source: the
+// inverted join index (internal/search), the unionability grouping
+// (internal/union), and every column profile are computed at
+// construction, so query execution never mutates shared state and is
+// safe for concurrent callers. Construction fans out over
+// internal/parallel; per-request work (profile rendering, FD
+// plausibility) fans out too, bounded by the same Workers knob, and
+// honors context cancellation.
+package query

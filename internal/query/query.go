@@ -1,18 +1,3 @@
-// Package query is the shared execution-and-rendering layer behind
-// the interactive query surfaces: the ogdpserve HTTP service and the
-// one-shot ogdpsearch CLI both answer join-search, union-search,
-// profile, and FD queries through the one Service here, which is what
-// makes the server's response bodies byte-identical to the CLI's
-// output for the same query — the contract the serve tests pin.
-//
-// A Service is built once over an immutable corpus.Source: the
-// inverted join index (internal/search), the unionability grouping
-// (internal/union), and every column profile are computed at
-// construction, so query execution never mutates shared state and is
-// safe for concurrent callers. Construction fans out over
-// internal/parallel; per-request work (profile rendering, FD
-// plausibility) fans out too, bounded by the same Workers knob, and
-// honors context cancellation.
 package query
 
 import (
@@ -26,6 +11,7 @@ import (
 	"ogdp/internal/corpus"
 	"ogdp/internal/fd"
 	"ogdp/internal/keys"
+	"ogdp/internal/obs"
 	"ogdp/internal/parallel"
 	"ogdp/internal/rank"
 	"ogdp/internal/search"
@@ -48,6 +34,7 @@ const (
 	KindUnion   = "union"
 	KindProfile = "profile"
 	KindFD      = "fd"
+	KindRank    = "rank"
 )
 
 // Request is one normalized query. The zero values of the optional
@@ -90,6 +77,8 @@ func (r Request) Normalize() Request {
 		r.Col, r.K, r.MaxLHS = "", 0, 0
 	case KindFD:
 		r.Col, r.K = "", 0
+	case KindRank:
+		r.Col, r.MaxLHS = "", 0
 	}
 	return r
 }
@@ -114,6 +103,9 @@ type TableInfo struct {
 type Options struct {
 	// Workers bounds every parallel fan-out (0 = all CPUs).
 	Workers int
+	// Registry receives the search engine's index-coverage and
+	// candidate/verification counters (nil disables them).
+	Registry *obs.Registry
 }
 
 // Service answers queries over one immutable loaded corpus.
@@ -151,10 +143,30 @@ func New(src corpus.Source, opts Options) *Service {
 		len(s.tables), s.workers, func(i int) {
 			s.tables[i].Profiles()
 		}))
-	s.eng = search.New(s.tables, search.MinUniqueDefault)
+	s.eng = search.NewWithOptions(s.tables, search.Options{
+		MinUnique: search.MinUniqueDefault,
+		Meta:      searchMetas(src),
+		Registry:  opts.Registry,
+	})
 	s.ua = union.Find(s.tables)
 	s.hash = contentHash(src.PortalID(), s.tables)
 	return s
+}
+
+// searchMetas projects the source's dataset metadata into the search
+// engine's per-table metadata signals (dataset identity plus the
+// dataset's subject category).
+func searchMetas(src corpus.Source) []search.TableMeta {
+	cat := make(map[string]string)
+	for _, d := range src.DatasetMetas() {
+		cat[d.ID] = d.Category
+	}
+	metas := src.TableMetas()
+	out := make([]search.TableMeta, len(metas))
+	for i, m := range metas {
+		out[i] = search.TableMeta{DatasetID: m.DatasetID, Category: cat[m.DatasetID]}
+	}
+	return out
 }
 
 // contentHash fingerprints the corpus: portal id, table names,
@@ -203,6 +215,10 @@ func (s *Service) NumTables() int { return len(s.tables) }
 // NumIndexed returns how many join-eligible columns the engine
 // indexed.
 func (s *Service) NumIndexed() int { return s.eng.NumIndexed() }
+
+// IndexSkips reports the search engine's index-coverage ledger: how
+// many corpus columns the index build passed over, by reason.
+func (s *Service) IndexSkips() search.SkipStats { return s.eng.Skips() }
 
 // PortalID names the served corpus.
 func (s *Service) PortalID() string { return s.src.PortalID() }
@@ -266,6 +282,8 @@ func (s *Service) Do(ctx context.Context, req Request) (string, error) {
 		return s.ProfileText(ctx, ti)
 	case KindFD:
 		return s.FDText(ctx, ti, req.MaxLHS)
+	case KindRank:
+		return s.RankText(ti, req.K), nil
 	default:
 		return "", fmt.Errorf("%w: unknown query kind %q", ErrBadRequest, req.Kind)
 	}
@@ -288,6 +306,34 @@ func (s *Service) JoinText(ti, ci, k int) string {
 		c := s.tables[r.Ref.Table]
 		fmt.Fprintf(&b, "  overlap=%-5d J=%.3f containment=%.3f  %s.%s\n",
 			r.Overlap, r.Jaccard, r.Containment, c.Name, c.Cols[r.Ref.Column])
+	}
+	return b.String()
+}
+
+// RankText renders the top-k ranked integration hypotheses for the
+// query table — value overlap, schema similarity, and dataset
+// metadata combined into one weighted score (Eberius et al.'s
+// integration hypotheses), byte-identical to the ogdpsearch
+// -mode rank output.
+func (s *Service) RankText(ti, k int) string {
+	q := s.tables[ti]
+	var b strings.Builder
+	fmt.Fprintf(&b, "top-%d integration hypotheses for %s (value+schema+metadata evidence):\n", k, q.Name)
+	hs := s.eng.RankTables(q, k, ti)
+	if len(hs) == 0 {
+		b.WriteString("  none\n")
+	}
+	for _, h := range hs {
+		c := s.tables[h.Table]
+		fmt.Fprintf(&b, "  score=%.3f  %s", h.Score, c.Name)
+		if h.QueryCol >= 0 {
+			fmt.Fprintf(&b, "  join %s~%s overlap=%d containment=%.3f",
+				q.Cols[h.QueryCol], c.Cols[h.CandCol], h.Overlap, h.Containment)
+		}
+		if h.SameSchema {
+			b.WriteString("  union-compatible")
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -386,5 +432,5 @@ func (s *Service) FDText(ctx context.Context, ti, maxLHS int) (string, error) {
 // Kinds names the supported query kinds, for flag help and error
 // text.
 func Kinds() string {
-	return strings.Join([]string{KindJoin, KindUnion, KindProfile, KindFD}, ", ")
+	return strings.Join([]string{KindJoin, KindUnion, KindProfile, KindFD, KindRank}, ", ")
 }

@@ -216,6 +216,8 @@ func TestWorkerCountInvariance(t *testing.T) {
 		{Kind: KindUnion, Table: "parts-2019.csv"},
 		{Kind: KindProfile, Table: "species.csv"},
 		{Kind: KindFD, Table: "species.csv"},
+		{Kind: KindRank, Table: "landings.csv"},
+		{Kind: KindRank, Table: "parts-2019.csv"},
 	}
 	if s1.Hash() != s8.Hash() {
 		t.Errorf("hash differs across worker counts")

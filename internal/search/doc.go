@@ -1,9 +1,37 @@
 // Package search provides the query-table discovery operations the
 // dataset search systems discussed in the paper (§2, §5–§6) expose —
-// Auctus, Toronto Open Data Search, JOSIE: given a query table — not
+// Auctus, Toronto Open Data Search, JOSIE — in two tiers.
+//
+// The exact tier is the original scanner: given a query table — not
 // necessarily part of the corpus — find the columns it can join with,
 // ranked top-k by exact value overlap (JOSIE's semantics, the ground
 // truth behind the §5 joinability study), and the tables it can union
 // with (§4). An inverted index over distinct column values answers
-// queries without rescanning the corpus.
+// those queries without rescanning the corpus.
+//
+// The ranked tier (RankTables) turns the scanner into a retrieval
+// engine: it scores whole candidate tables against the query table
+// and returns a ranked Hypothesis list, blending value evidence
+// (containment and Jaccard of the best joinable column pair, weighted
+// by how informative the column's type group is — the paper's §5
+// observation that incremental-integer overlap is meaningless while
+// categorical overlap is strong evidence), schema-name similarity
+// (internal/normalize), type compatibility, union compatibility over
+// normalized schema keys, and dataset-metadata affinity. Weights live
+// in HypothesisWeights; scoring is pure arithmetic over index state,
+// so rankings are deterministic and byte-identical across worker
+// counts.
+//
+// Candidate generation has two paths with identical output. Small
+// corpora (below Options.ExactCutoff columns) scan the inverted
+// index exhaustively. Larger corpora go through an LSH banding stage
+// over the engine's MinHash signatures (internal/minhash): only
+// columns sharing a band bucket with the query column are verified
+// against the index, which makes candidate generation sublinear in
+// corpus size. The recall-safe default banding (64 bands × 2 rows)
+// together with the evidence floor (DefaultEvidenceJaccard — overlap
+// thinner than it is accidental-join noise either way) keeps the LSH
+// path's rankings byte-identical to the exact path's on the study
+// corpora; the eval harness (internal/search/eval) measures both
+// quality and verification work for every band setting.
 package search

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ogdp/internal/join"
+	"ogdp/internal/minhash"
 	"ogdp/internal/table"
 )
 
@@ -26,36 +27,63 @@ type Result struct {
 	Containment float64
 }
 
-// Engine is an inverted index over a corpus's eligible columns.
+// Engine is an inverted index over a corpus's eligible columns, with
+// an optional LSH candidate stage for ranked retrieval (see ranked.go).
 type Engine struct {
 	tables    []*table.Table
 	minUnique int
 	columns   []ColumnRef
 	distinct  []int
-	postings  map[uint64][]int32 // value hash -> ids into columns
+	profiles  []*table.ColumnProfile // indexed-column profiles, by id
+	postings  map[uint64][]int32     // value hash -> ids into columns
+
+	// Ranked-retrieval state (ranked.go).
+	meta     []TableMeta
+	weights  HypothesisWeights
+	sigSize  int
+	minEvJac float64
+	lsh      *minhash.Index
+	skips    SkipStats
+	stats    engineStats
 }
 
 // New indexes all columns of the corpus with at least minUnique
 // distinct values (pass join.DefaultMinUnique for the paper's filter;
 // minUnique ≤ 0 indexes everything).
 func New(tables []*table.Table, minUnique int) *Engine {
+	return NewWithOptions(tables, Options{MinUnique: minUnique, ExactCutoff: DefaultExactCutoff})
+}
+
+// NewWithOptions indexes the corpus under explicit ranked-retrieval
+// options; see Options for the defaults the zero value selects.
+func NewWithOptions(tables []*table.Table, opts Options) *Engine {
+	opts = opts.withDefaults()
 	e := &Engine{
 		tables:    tables,
-		minUnique: minUnique,
+		minUnique: opts.MinUnique,
 		postings:  make(map[uint64][]int32),
+		meta:      opts.Meta,
+		weights:   opts.Weights,
+		sigSize:   opts.SignatureSize,
+		minEvJac:  opts.EvidenceJaccard,
 	}
 	for ti, t := range tables {
 		for ci := range t.Cols {
 			p := t.Profile(ci)
-			if minUnique > 0 && p.Distinct < minUnique {
+			// An empty column is "no values" regardless of the gate; the
+			// ledger must not blame the distinct-value bar for it.
+			if p.Distinct == 0 {
+				e.skips.Empty++
 				continue
 			}
-			if p.Distinct == 0 {
+			if opts.MinUnique > 0 && p.Distinct < opts.MinUnique {
+				e.skips.MinUnique++
 				continue
 			}
 			id := int32(len(e.columns))
 			e.columns = append(e.columns, ColumnRef{Table: ti, Column: ci})
 			e.distinct = append(e.distinct, p.Distinct)
+			e.profiles = append(e.profiles, p)
 			// The profile's hash set is already sorted, so posting lists
 			// fill in ascending column-id order with ascending hashes.
 			for _, h := range p.ValueHashes() {
@@ -63,6 +91,17 @@ func New(tables []*table.Table, minUnique int) *Engine {
 			}
 		}
 	}
+	// Candidate generation goes through LSH banding only when the
+	// corpus is large enough for banding to beat the exact postings
+	// scan; small corpora keep the exact path (and skip the signature
+	// build entirely).
+	if len(e.columns) >= opts.ExactCutoff {
+		e.lsh = minhash.NewIndex(opts.Bands, opts.Rows)
+		for _, p := range e.profiles {
+			e.lsh.Add(minhash.Sketch(p.ValueHashes(), opts.SignatureSize))
+		}
+	}
+	e.registerMetrics(opts.Registry)
 	return e
 }
 

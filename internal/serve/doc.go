@@ -1,0 +1,19 @@
+// Package serve is the HTTP query surface over a loaded corpus: the
+// handler behind cmd/ogdpserve. It wraps one immutable
+// query.Service with the machinery a long-lived service needs —
+// admission control with a bounded wait queue and 429 backpressure,
+// per-request timeouts, an LRU result cache keyed on (corpus content
+// hash, normalized query), and request metrics — while delegating
+// every query to the shared renderer, so a served body stays
+// byte-identical to the one-shot CLI output for the same question.
+//
+// The endpoint set is the service form of the paper's integration
+// primitives: /join and /union expose the §4–§5 discovery
+// operations, /profile the §3 column measurements, /fd the §6
+// dependency checks, and /search the ranked table-search engine —
+// the "give me tables worth integrating with this one" question the
+// dataset-search systems surveyed in §2 answer. Because every
+// renderer is deterministic, cached and uncached responses are
+// byte-identical, and the cache needs no invalidation story beyond
+// the corpus content hash in its key.
+package serve

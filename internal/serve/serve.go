@@ -1,11 +1,3 @@
-// Package serve is the HTTP query surface over a loaded corpus: the
-// handler behind cmd/ogdpserve. It wraps one immutable
-// query.Service with the machinery a long-lived service needs —
-// admission control with a bounded wait queue and 429 backpressure,
-// per-request timeouts, an LRU result cache keyed on (corpus content
-// hash, normalized query), and request metrics — while delegating
-// every query to the shared renderer, so a served body stays
-// byte-identical to the one-shot CLI output for the same question.
 package serve
 
 import (
@@ -114,10 +106,18 @@ func New(svc *query.Service, opts Options) *Server {
 		},
 	}
 	s.mux = http.NewServeMux()
-	for _, kind := range []string{query.KindJoin, query.KindUnion, query.KindProfile, query.KindFD} {
-		kind := kind
-		s.mux.HandleFunc("/"+kind, func(w http.ResponseWriter, r *http.Request) {
-			s.handleQuery(w, r, kind)
+	// Endpoint paths mirror the kind names except ranked retrieval,
+	// which serves under /search (the service the ROADMAP names).
+	for _, ep := range []struct{ path, kind string }{
+		{"/" + query.KindJoin, query.KindJoin},
+		{"/" + query.KindUnion, query.KindUnion},
+		{"/" + query.KindProfile, query.KindProfile},
+		{"/" + query.KindFD, query.KindFD},
+		{"/search", query.KindRank},
+	} {
+		ep := ep
+		s.mux.HandleFunc(ep.path, func(w http.ResponseWriter, r *http.Request) {
+			s.handleQuery(w, r, ep.path, ep.kind)
 		})
 	}
 	s.mux.HandleFunc("/tables", s.handleTables)
@@ -142,11 +142,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// handleQuery is the common path of the four query endpoints: parse,
+// handleQuery is the common path of the query endpoints: parse,
 // admit, consult the cache, execute, respond.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, kind string) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, endpoint, kind string) {
 	start := time.Now()
-	endpoint := "/" + kind
 	status := s.answerQuery(w, r, kind)
 	s.requests(endpoint, status).Inc()
 	s.latency(endpoint).ObserveDuration(time.Since(start))

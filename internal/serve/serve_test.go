@@ -81,6 +81,7 @@ func TestQueryEndpointsMatchService(t *testing.T) {
 		{"/union?table=parts-2019.csv", query.Request{Kind: query.KindUnion, Table: "parts-2019.csv"}},
 		{"/profile?table=species.csv", query.Request{Kind: query.KindProfile, Table: "species.csv"}},
 		{"/fd?table=species.csv&lhs=2", query.Request{Kind: query.KindFD, Table: "species.csv", MaxLHS: 2}},
+		{"/search?table=landings.csv&k=3", query.Request{Kind: query.KindRank, Table: "landings.csv", K: 3}},
 	}
 	var wg sync.WaitGroup
 	for _, tc := range cases {
@@ -138,6 +139,27 @@ func TestCacheHitsAndCounters(t *testing.T) {
 	}
 	if srv.CacheLen() != 1 {
 		t.Errorf("CacheLen = %d", srv.CacheLen())
+	}
+}
+
+// TestSearchEndpointCached pins that ranked /search responses go
+// through the same LRU as the other kinds: a repeat query hits, and
+// the normalized key folds the default k into the explicit spelling.
+func TestSearchEndpointCached(t *testing.T) {
+	srv := fixtureServer(t, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp1, body1 := get(t, ts, "/search?table=landings.csv")
+	if resp1.Header.Get("X-Ogdp-Cache") != "miss" {
+		t.Errorf("first /search cache header = %q", resp1.Header.Get("X-Ogdp-Cache"))
+	}
+	resp2, body2 := get(t, ts, "/search?table=landings.csv&k=5")
+	if resp2.Header.Get("X-Ogdp-Cache") != "hit" {
+		t.Errorf("repeat /search cache header = %q", resp2.Header.Get("X-Ogdp-Cache"))
+	}
+	if body1 != body2 {
+		t.Error("cached /search body differs from computed body")
 	}
 }
 
@@ -229,7 +251,7 @@ func TestTablesAndHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
 		t.Fatalf("/tables status %d content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
 	}
-	for _, want := range []string{`"num_tables": 4`, `"landings.csv"`, `"corpus_hash"`, `"kinds": "join, union, profile, fd"`} {
+	for _, want := range []string{`"num_tables": 4`, `"landings.csv"`, `"corpus_hash"`, `"kinds": "join, union, profile, fd, rank"`} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/tables misses %s:\n%s", want, body)
 		}
