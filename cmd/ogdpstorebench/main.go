@@ -1,0 +1,223 @@
+// Command ogdpstorebench measures the corpus load paths against each
+// other: the colstore mmap fast path (encodings served zero-copy from
+// the binary columnar files) versus CSV re-parsing, over the same
+// saved corpus. It reports wall time and allocated bytes per load,
+// checks that the full study over both loads produces the identical
+// PortalResult, and with -check fails when the mmap path misses the
+// improvement floors — the CI gate for the storage layer.
+//
+// Usage:
+//
+//	ogdpstorebench -portal CA -scale 0.1 -seed 1 -out BENCH.json -check
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+
+	"ogdp/cmd/internal/cli"
+	"ogdp/internal/colstore"
+	"ogdp/internal/core"
+	"ogdp/internal/corpus"
+	"ogdp/internal/diskcorpus"
+	"ogdp/internal/gen"
+)
+
+// loadSample is one measured load path.
+type loadSample struct {
+	NsPerLoad     int64 `json:"ns_per_load"`
+	AllocsPerLoad int64 `json:"alloc_bytes_per_load"`
+	Runs          int   `json:"runs"`
+	FallbackNotes int   `json:"fallback_notes"`
+	EncodedServed int   `json:"tables_served_encoded"`
+	TablesLoaded  int   `json:"tables_loaded"`
+}
+
+// benchReport is the JSON the tool writes (and CI uploads).
+type benchReport struct {
+	Benchmark     string     `json:"benchmark"`
+	Command       string     `json:"command"`
+	Portal        string     `json:"portal"`
+	Scale         float64    `json:"scale"`
+	Seed          int64      `json:"seed"`
+	Tables        int        `json:"tables"`
+	CSVBytes      int64      `json:"csv_bytes"`
+	ColstoreBytes int64      `json:"colstore_bytes"`
+	CSVLoad       loadSample `json:"csv_load"`
+	MmapLoad      loadSample `json:"mmap_load"`
+	TimeRatio     float64    `json:"mmap_time_ratio"`
+	AllocRatio    float64    `json:"mmap_alloc_ratio"`
+	StudyParity   string     `json:"study_parity"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ogdpstorebench: ")
+
+	portal := flag.String("portal", "CA", "portal profile: SG, CA, UK, or US")
+	scale := flag.Float64("scale", 0.1, "corpus scale")
+	seed := flag.Int64("seed", 1, "generation seed")
+	reps := flag.Int("reps", 3, "load repetitions per path (best run reported)")
+	out := flag.String("out", "", "write the JSON report here")
+	check := flag.Bool("check", false, "fail unless mmap beats the floors and study parity holds")
+	maxTimeRatio := flag.Float64("max-time-ratio", 0.5, "-check: mmap load time must be at most this fraction of CSV load time")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 0.5, "-check: mmap load allocations must be at most this fraction of CSV load")
+	flag.Parse()
+
+	prof, ok := gen.ProfileByName(*portal)
+	if !ok {
+		log.Fatalf("unknown portal %q (want SG, CA, UK, or US)", *portal)
+	}
+	dir, err := os.MkdirTemp("", "ogdpstorebench-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	c := gen.Generate(prof, *scale, *seed)
+	st, err := gen.SaveCorpus(dir, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := benchReport{
+		Benchmark: "ogdpstorebench",
+		Command:   fmt.Sprintf("ogdpstorebench -portal %s -scale %g -seed %d -reps %d", *portal, *scale, *seed, *reps),
+		Portal:    *portal, Scale: *scale, Seed: *seed,
+		Tables: st.Tables, CSVBytes: st.Bytes, ColstoreBytes: st.ColBytes,
+	}
+
+	// Pass 1: colstore present — the mmap fast path.
+	mmapSrc, mmapSample := measure(dir, *reps)
+	if mmapSample.EncodedServed != mmapSample.TablesLoaded || mmapSample.FallbackNotes != 0 {
+		log.Fatalf("mmap pass not fully colstore-served: %d/%d tables encoded, %d fallbacks",
+			mmapSample.EncodedServed, mmapSample.TablesLoaded, mmapSample.FallbackNotes)
+	}
+	// Pass 2: colstore files removed — every table re-parses from CSV.
+	if err := removeColstore(dir); err != nil {
+		log.Fatal(err)
+	}
+	csvSrc, csvSample := measure(dir, *reps)
+	if csvSample.EncodedServed != 0 {
+		log.Fatalf("csv pass unexpectedly served %d tables from colstore", csvSample.EncodedServed)
+	}
+	rep.MmapLoad, rep.CSVLoad = mmapSample, csvSample
+	rep.TimeRatio = ratio(mmapSample.NsPerLoad, csvSample.NsPerLoad)
+	rep.AllocRatio = ratio(mmapSample.AllocsPerLoad, csvSample.AllocsPerLoad)
+
+	// Study parity: the full portal study over both loads must agree
+	// exactly (DeepEqual on PortalResult).
+	opts := core.Options{Scale: *scale, Seed: *seed, MaxFDTables: 10, SamplePerCell: 2, UnionSamples: 4}
+	want := core.RunPortal(csvSrc, opts)
+	got := core.RunPortal(mmapSrc, opts)
+	want.Corpus, got.Corpus = nil, nil
+	if reflect.DeepEqual(want, got) {
+		rep.StudyParity = "ok"
+	} else {
+		rep.StudyParity = "MISMATCH"
+	}
+
+	fmt.Printf("corpus: %d tables, %.2f MiB CSV, %.2f MiB colstore\n",
+		rep.Tables, float64(rep.CSVBytes)/(1<<20), float64(rep.ColstoreBytes)/(1<<20))
+	fmt.Printf("csv_load:  %12d ns  %12d alloc bytes\n", csvSample.NsPerLoad, csvSample.AllocsPerLoad)
+	fmt.Printf("mmap_load: %12d ns  %12d alloc bytes\n", mmapSample.NsPerLoad, mmapSample.AllocsPerLoad)
+	fmt.Printf("ratios: time %.3f, alloc %.3f (floors %.2f / %.2f)\n",
+		rep.TimeRatio, rep.AllocRatio, *maxTimeRatio, *maxAllocRatio)
+	fmt.Printf("study parity: %s\n", rep.StudyParity)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *check {
+		if rep.StudyParity != "ok" {
+			log.Fatal("check failed: study results differ between load paths")
+		}
+		if rep.TimeRatio > *maxTimeRatio {
+			log.Fatalf("check failed: mmap load time ratio %.3f exceeds floor %.2f", rep.TimeRatio, *maxTimeRatio)
+		}
+		if rep.AllocRatio > *maxAllocRatio {
+			log.Fatalf("check failed: mmap load alloc ratio %.3f exceeds floor %.2f", rep.AllocRatio, *maxAllocRatio)
+		}
+		fmt.Println("check passed")
+	}
+}
+
+// measure loads the corpus reps times, returning the last loaded
+// source and the best (minimum) wall time and allocation figures.
+func measure(dir string, reps int) (corpus.Source, loadSample) {
+	var src corpus.Source
+	var sample loadSample
+	for r := 0; r < reps; r++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		sw := cli.Start()
+		loaded, notes, err := diskcorpus.LoadStudyNotes(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ns := sw.Elapsed().Nanoseconds()
+		runtime.ReadMemStats(&m1)
+		alloc := int64(m1.TotalAlloc - m0.TotalAlloc)
+		if r == 0 || ns < sample.NsPerLoad {
+			sample.NsPerLoad = ns
+		}
+		if r == 0 || alloc < sample.AllocsPerLoad {
+			sample.AllocsPerLoad = alloc
+		}
+		sample.FallbackNotes = len(notes)
+		sample.EncodedServed, sample.TablesLoaded = countEncoded(loaded)
+		src = loaded
+	}
+	sample.Runs = reps
+	return src, sample
+}
+
+// countEncoded reports how many loaded tables are encoding-backed
+// (served from colstore) out of the total.
+func countEncoded(src corpus.Source) (encoded, total int) {
+	for _, m := range src.TableMetas() {
+		total++
+		if m.Table.Encoded() {
+			encoded++
+		}
+	}
+	return encoded, total
+}
+
+// removeColstore deletes every colstore file in dir, forcing the CSV
+// fallback path.
+func removeColstore(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), colstore.Ext) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ratio is a/b, 0 when b is 0.
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

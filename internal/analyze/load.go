@@ -174,7 +174,10 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 }
 
 // parseDir parses the non-test Go files of dir, or returns nil if it
-// has none.
+// has none. Files excluded by build constraints for the current
+// platform (//go:build lines, GOOS/GOARCH name suffixes) are skipped,
+// so platform-variant pairs like colstore's mmap files type-check as
+// one coherent package instead of colliding.
 func (l *Loader) parseDir(dir, path string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -184,6 +187,9 @@ func (l *Loader) parseDir(dir, path string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

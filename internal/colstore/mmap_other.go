@@ -1,0 +1,22 @@
+//go:build !unix
+
+package colstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// openMapping reads the whole file into memory on platforms without
+// mmap support; the reader still aliases the buffer zero-copy.
+func openMapping(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size < 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("colstore: %s: cannot read %d bytes", f.Name(), size)
+	}
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, nil, fmt.Errorf("colstore: read %s: %w", f.Name(), err)
+	}
+	return b, func() error { return nil }, nil
+}

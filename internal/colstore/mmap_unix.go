@@ -1,0 +1,23 @@
+//go:build unix
+
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// openMapping maps the whole file read-only. The mapping survives the
+// file descriptor being closed; unmap releases it (callers only do so
+// when validation fails — see Load).
+func openMapping(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("colstore: %s: cannot map %d bytes", f.Name(), size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("colstore: mmap %s: %w", f.Name(), err)
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ogdp/internal/core"
+	"ogdp/internal/diskcorpus"
+	"ogdp/internal/gen"
+	"ogdp/internal/report"
+)
+
+// TestMmapStudyParityAcrossWorkers is the mmap half of the storage
+// contract: a corpus served from its colstore files (encodings backed
+// by the read-only mapping, rows never materialized up front) must
+// produce the identical PortalResult and identical report bytes at any
+// worker count. Combined with TestDiskRoundtripStudyParity (disk load
+// equals in-memory generation), this pins the full chain: in-memory ==
+// CSV reload == mmap reload, sequential == oversubscribed.
+func TestMmapStudyParityAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study run")
+	}
+	dir := t.TempDir()
+	c := gen.Generate(gen.CA(), 0.05, 7)
+	if _, err := gen.SaveCorpus(dir, c); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(workers int) (core.PortalResult, string) {
+		src, err := diskcorpus.LoadStudy(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded := src.(*gen.Corpus)
+		for _, m := range loaded.Metas {
+			if !m.Table.Encoded() {
+				t.Fatalf("%s not mmap-served; the test would not exercise the colstore path", m.Table.Name)
+			}
+		}
+		opts := core.Options{
+			Scale: 0.05, Seed: 7, Workers: workers,
+			FetchFunnel: true, Compress: true,
+			MaxFDTables: 10, SamplePerCell: 2, UnionSamples: 4,
+		}
+		res := core.RunPortal(src, opts)
+		res.Corpus = nil
+		var buf bytes.Buffer
+		report.All(&buf, &core.StudyResult{Options: opts, Portals: []core.PortalResult{res}})
+		return res, buf.String()
+	}
+
+	seq, seqReport := run(1)
+	par, parReport := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("PortalResult differs between Workers=1 and Workers=8 over the mmap-loaded corpus")
+	}
+	if seqReport != parReport {
+		i := 0
+		for i < len(seqReport) && i < len(parReport) && seqReport[i] == parReport[i] {
+			i++
+		}
+		t.Fatalf("report bytes differ at offset %d: %q vs %q", i,
+			seqReport[max(0, i-40):min(i+40, len(seqReport))],
+			parReport[max(0, i-40):min(i+40, len(parReport))])
+	}
+	if seq.Join.Pairs == 0 || seq.Sizes.Readable == 0 {
+		t.Fatalf("parity comparison is vacuous: %d pairs, %d readable", seq.Join.Pairs, seq.Sizes.Readable)
+	}
+}

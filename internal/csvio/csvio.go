@@ -243,10 +243,15 @@ func Write(w io.Writer, t *table.Table) error {
 	if err := cw.Write(t.Cols); err != nil {
 		return err
 	}
+	// Column materializes encoding-backed tables before the cell loop.
+	cols := make([][]string, t.NumCols())
+	for c := range cols {
+		cols[c] = t.Column(c)
+	}
 	row := make([]string, t.NumCols())
 	for r := 0; r < t.NumRows(); r++ {
 		for c := range row {
-			row[c] = t.Data[c][r]
+			row[c] = cols[c][r]
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -1,0 +1,199 @@
+package diskcorpus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ogdp/internal/colstore"
+	"ogdp/internal/csvio"
+	"ogdp/internal/gen"
+	"ogdp/internal/table"
+)
+
+// genDir saves a small generated corpus (CSVs + colstore sidecars +
+// manifests) into a temp dir.
+func genDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	c := gen.Generate(gen.CA(), 0.03, 5)
+	if _, err := gen.SaveCorpus(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLoadPrefersSidecar(t *testing.T) {
+	dir := t.TempDir()
+	body := "id,name\n1,a\n2,b\n"
+	write(t, dir, "good.csv", body)
+	src := table.FromRows("good.csv", []string{"id", "name"}, [][]string{{"1", "a"}, {"2", "b"}})
+	if _, err := colstore.WriteFile(filepath.Join(dir, "good.csv"+colstore.Ext), src, colstore.HashBytes([]byte(body))); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tables) != 1 || len(c.Skips) != 0 {
+		t.Fatalf("tables=%d skips=%v", len(c.Tables), c.Skips)
+	}
+	if !c.Tables[0].Encoded() {
+		t.Fatal("table should be served encoding-backed from the sidecar")
+	}
+	if got := csvio.Bytes(c.Tables[0]); string(got) != body {
+		t.Fatalf("sidecar table serializes to %q, want %q", got, body)
+	}
+}
+
+func TestLoadStaleSidecarFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	src := table.FromRows("good.csv", []string{"id", "name"}, [][]string{{"1", "a"}})
+	if _, err := colstore.WriteFile(filepath.Join(dir, "good.csv"+colstore.Ext), src, colstore.HashBytes(csvio.Bytes(src))); err != nil {
+		t.Fatal(err)
+	}
+	// The CSV has since been edited; the sidecar's stamp no longer matches.
+	write(t, dir, "good.csv", "id,name\n1,a\n2,b\n")
+
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tables) != 1 || c.Tables[0].NumRows() != 2 {
+		t.Fatalf("want the 2-row CSV parse, got %v", c.Tables)
+	}
+	if c.Tables[0].Encoded() {
+		t.Fatal("stale sidecar must not be served")
+	}
+	if len(c.Skips) != 1 || c.Skips[0].Name != "good.csv"+colstore.Ext ||
+		!strings.Contains(c.Skips[0].Reason, "stale") {
+		t.Fatalf("skip ledger = %v, want one stale-sidecar entry", c.Skips)
+	}
+}
+
+func TestLoadCorruptSidecarFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	body := "id,name\n1,a\n"
+	write(t, dir, "good.csv", body)
+	src := table.FromRows("good.csv", []string{"id", "name"}, [][]string{{"1", "a"}})
+	path := filepath.Join(dir, "good.csv"+colstore.Ext)
+	if _, err := colstore.WriteFile(path, src, colstore.HashBytes([]byte(body))); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tables) != 1 || c.Tables[0].Encoded() {
+		t.Fatalf("truncated sidecar should fall back to CSV parse")
+	}
+	if len(c.Skips) != 1 || !strings.Contains(c.Skips[0].Reason, "truncated") {
+		t.Fatalf("skip ledger = %v, want truncated-sidecar entry", c.Skips)
+	}
+}
+
+func TestLoadStudyNotesGenCorpus(t *testing.T) {
+	dir := genDir(t)
+	src, skips, err := LoadStudyNotes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skips) != 0 {
+		t.Fatalf("clean corpus produced load notes: %v", skips)
+	}
+	gc, ok := src.(*gen.Corpus)
+	if !ok {
+		t.Fatalf("LoadStudyNotes returned %T, want *gen.Corpus", src)
+	}
+	for _, m := range gc.Metas {
+		if !m.Table.Encoded() {
+			t.Fatalf("%s not served from its colstore file", m.Table.Name)
+		}
+	}
+}
+
+func TestLoadStudyNotesCorruptColstoreFallsBack(t *testing.T) {
+	dir := genDir(t)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), colstore.Ext) {
+			victim = e.Name()
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no colstore files written")
+	}
+	path := filepath.Join(dir, victim)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src, skips, err := LoadStudyNotes(dir)
+	if err != nil {
+		t.Fatalf("corrupt colstore must fall back, not fail: %v", err)
+	}
+	if len(skips) != 1 || skips[0].Name != strings.TrimSuffix(victim, colstore.Ext) ||
+		!strings.Contains(skips[0].Reason, "checksum mismatch") {
+		t.Fatalf("skips = %v, want one checksum-mismatch note for %s", skips, victim)
+	}
+	gc := src.(*gen.Corpus)
+	i := -1
+	for j, m := range gc.Metas {
+		if m.Table.Name == strings.TrimSuffix(victim, colstore.Ext) {
+			i = j
+		}
+	}
+	if i < 0 || gc.Metas[i].Table.Encoded() {
+		t.Fatal("victim table should have been re-parsed from CSV")
+	}
+}
+
+func TestLoadStudyRejectsMissingTable(t *testing.T) {
+	dir := genDir(t)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".csv") {
+			victim = e.Name()
+			break
+		}
+	}
+	// Remove both representations: the manifests now reference data the
+	// corpus no longer has.
+	if err := os.Remove(filepath.Join(dir, victim)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, victim+colstore.Ext)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadStudyNotes(dir)
+	if err == nil {
+		t.Fatal("corpus with missing table data should be rejected")
+	}
+	if !strings.Contains(err.Error(), victim) {
+		t.Fatalf("error %q does not name the missing table %s", err, victim)
+	}
+}

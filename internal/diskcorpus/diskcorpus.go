@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"ogdp/internal/colstore"
 	"ogdp/internal/corpus"
 	"ogdp/internal/csvio"
 	"ogdp/internal/gen"
@@ -49,8 +50,10 @@ type Corpus struct {
 	// SkippedWide counts files rejected by the wide-table cutoff.
 	SkippedWide int
 	// Skips is the per-file skip ledger, in file-name order: every
-	// counted skip (including wide-table rejections) plus a malformed
-	// datasets.json, each with its reason.
+	// counted skip (including wide-table rejections), every colstore
+	// sidecar passed over (stale, truncated, corrupt — the CSV was
+	// re-parsed instead), plus a malformed datasets.json, each with its
+	// reason.
 	Skips []Skip
 	// Manifest reports whether a datasets.json manifest was found and
 	// parsed.
@@ -65,6 +68,13 @@ func (c *Corpus) TableMetas() []corpus.TableMeta { return c.Metas }
 
 // DatasetMetas implements corpus.Source.
 func (c *Corpus) DatasetMetas() []corpus.Dataset { return c.Datasets }
+
+// ColumnEncoding implements corpus.ColumnSource: column-level access
+// to the loaded tables without materializing rows. For tables served
+// from colstore sidecars the encodings alias the read-only mapping.
+func (c *Corpus) ColumnEncoding(ti, col int) *table.Encoding {
+	return c.Tables[ti].Encoding(col)
+}
 
 // ByName returns the index of the table with the given file name, or
 // -1.
@@ -99,15 +109,23 @@ func Load(dir string) (*Corpus, error) {
 			c.Skipped++
 			continue
 		}
-		t, reason, wide := parse(name, body)
+		t, sidecarReason := loadSidecar(dir, name, body)
+		if sidecarReason != "" {
+			c.Skips = append(c.Skips, Skip{Name: name + colstore.Ext, Reason: sidecarReason})
+		}
 		if t == nil {
-			c.Skips = append(c.Skips, Skip{Name: name, Reason: reason})
-			if wide {
-				c.SkippedWide++
-			} else {
-				c.Skipped++
+			var reason string
+			var wide bool
+			t, reason, wide = parse(name, body)
+			if t == nil {
+				c.Skips = append(c.Skips, Skip{Name: name, Reason: reason})
+				if wide {
+					c.SkippedWide++
+				} else {
+					c.Skipped++
+				}
+				continue
 			}
-			continue
 		}
 		c.Tables = append(c.Tables, t)
 		c.Metas = append(c.Metas, corpus.TableMeta{Table: t, RawSize: int64(len(body))})
@@ -118,16 +136,66 @@ func Load(dir string) (*Corpus, error) {
 	return c, nil
 }
 
+// loadSidecar serves name from its colstore sidecar when one exists
+// and its stamped content hash matches the CSV bytes on disk (the
+// sidecar is then the exact table the CSV was written from, and its
+// encodings alias a read-only mapping instead of being rebuilt). An
+// absent sidecar returns (nil, ""); a present-but-unusable one —
+// truncated, corrupt, or stale against an edited CSV — returns nil
+// with the reason for the skip ledger, and the caller re-parses the
+// CSV.
+func loadSidecar(dir, name string, body []byte) (*table.Table, string) {
+	path := filepath.Join(dir, name+colstore.Ext)
+	if _, err := os.Stat(path); err != nil {
+		return nil, ""
+	}
+	t, hash, err := colstore.Load(path)
+	if err != nil {
+		return nil, fmt.Sprintf("sidecar unusable (%v); re-parsed CSV", err)
+	}
+	if want := colstore.HashBytes(body); hash != want {
+		return nil, fmt.Sprintf("sidecar stale (stamped %016x, CSV hashes to %016x); re-parsed CSV", hash, want)
+	}
+	if t.NumCols() == 0 || t.NumRows() == 0 {
+		// Mirror parse's empty-table rejection so both paths skip the
+		// file identically.
+		return nil, ""
+	}
+	return t, ""
+}
+
 // LoadStudy loads dir as a study-ready corpus source: a directory
 // written by ogdpgen/gen.SaveCorpus (recognized by its
 // provenance.json) comes back as a full *gen.Corpus — provenance
 // oracle and servable funnel portal included — while any other
 // directory of CSVs loads through the generic pipeline above.
 func LoadStudy(dir string) (corpus.Source, error) {
+	src, _, err := LoadStudyNotes(dir)
+	return src, err
+}
+
+// LoadStudyNotes is LoadStudy with the per-file load deviations
+// surfaced: colstore fallbacks and skipped files, in Skip-ledger form,
+// whichever loader ran. A corpus whose manifests reference tables
+// that are missing or unreadable in both representations is rejected
+// with a wrapped error.
+func LoadStudyNotes(dir string) (corpus.Source, []Skip, error) {
 	if _, err := os.Stat(filepath.Join(dir, gen.ProvenanceFile)); err == nil {
-		return gen.LoadCorpus(dir)
+		c, notes, err := gen.LoadCorpusNotes(dir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("diskcorpus: %s: %w", dir, err)
+		}
+		skips := make([]Skip, len(notes))
+		for i, n := range notes {
+			skips[i] = Skip{Name: n.File, Reason: n.Reason}
+		}
+		return c, skips, nil
 	}
-	return Load(dir)
+	c, err := Load(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, c.Skips, nil
 }
 
 // parse runs the sniff/read pipeline. On failure t is nil, reason

@@ -1,0 +1,220 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ogdp/internal/colstore"
+	"ogdp/internal/table"
+)
+
+// Ingest primitives: the pieces of incremental corpus maintenance that
+// touch the provenance schema. Delta detection and orchestration live
+// in internal/ingest; this file owns reading the per-table content
+// digests out of provenance.json and committing a patch (added,
+// updated, deleted tables) back into a saved corpus directory with the
+// same atomicity guarantees as SaveCorpus.
+
+// CorpusDigest is the identity summary of a saved corpus: the portal,
+// the manifest's table order, and each table's CSV content hash plus
+// dataset attribution — everything delta detection needs without
+// parsing a single table.
+type CorpusDigest struct {
+	// Portal is the corpus's portal id.
+	Portal string
+	// Files lists the table file names in provenance order.
+	Files []string
+	// Hash maps a file name to its CSV content hash; files whose
+	// provenance entry lacks a parseable hash are absent (they always
+	// count as changed).
+	Hash map[string]uint64
+	// Dataset and Published map a file name to its dataset attribution.
+	Dataset   map[string]string
+	Published map[string]time.Time
+}
+
+// Digest reads the per-table content digests of a saved corpus from
+// its provenance manifest.
+func Digest(dir string) (*CorpusDigest, error) {
+	prov, err := readProvenance(dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &CorpusDigest{
+		Portal:    prov.Portal,
+		Hash:      make(map[string]uint64, len(prov.Tables)),
+		Dataset:   make(map[string]string, len(prov.Tables)),
+		Published: make(map[string]time.Time, len(prov.Tables)),
+	}
+	for _, pt := range prov.Tables {
+		d.Files = append(d.Files, pt.File)
+		if h, ok := parseHash(pt.ContentHash); ok {
+			d.Hash[pt.File] = h
+		}
+		d.Dataset[pt.File] = pt.Dataset
+		d.Published[pt.File] = pt.Published
+	}
+	return d, nil
+}
+
+// IngestTable is one added or updated table handed to PatchCorpus: the
+// parsed revision plus the exact CSV bytes to store (the content hash
+// stamps both the provenance entry and the colstore file).
+type IngestTable struct {
+	Table *table.Table
+	Body  []byte
+	Hash  uint64
+}
+
+// PatchCorpus commits an ingest delta to a saved corpus directory:
+// added and updated tables get their CSV and colstore files written
+// (temp + rename, like SaveCorpus), the provenance manifest is patched
+// — updated entries in place, added entries appended in the given
+// order, deleted entries removed — and the dataset manifest drops
+// deleted tables from its table lists. The fsynced manifest writes are
+// the commit point; the deleted tables' files are removed only
+// afterwards, so a crash at any step leaves a corpus the loaders read
+// consistently. Updated entries keep their dataset attribution and the
+// generation roles of columns whose names survive the revision; added
+// tables carry no generation provenance.
+func PatchCorpus(dir string, added, updated []IngestTable, deleted []string) error {
+	prov, err := readProvenance(dir)
+	if err != nil {
+		return err
+	}
+	byFile := make(map[string]int, len(prov.Tables))
+	for i, pt := range prov.Tables {
+		byFile[pt.File] = i
+	}
+
+	for _, in := range updated {
+		i, ok := byFile[in.Table.Name]
+		if !ok {
+			return fmt.Errorf("gen: patch: update %q: not in provenance", in.Table.Name)
+		}
+		if err := writeIngestTable(dir, in); err != nil {
+			return err
+		}
+		pt := &prov.Tables[i]
+		roles := make(map[string]provCol, len(pt.Cols))
+		for _, pc := range pt.Cols {
+			roles[pc.Name] = pc
+		}
+		pt.Cols = pt.Cols[:0]
+		for _, name := range in.Table.Cols {
+			pt.Cols = append(pt.Cols, provCol{Name: name, Role: roles[name].Role, Pool: roles[name].Pool})
+		}
+		pt.RawSize = int64(len(in.Body))
+		pt.ContentHash = formatHash(in.Hash)
+		pt.Colstore = in.Table.Name + colstore.Ext
+	}
+	for _, in := range added {
+		if _, ok := byFile[in.Table.Name]; ok {
+			return fmt.Errorf("gen: patch: add %q: already in provenance", in.Table.Name)
+		}
+		if err := writeIngestTable(dir, in); err != nil {
+			return err
+		}
+		pt := provTable{
+			File:        in.Table.Name,
+			RawSize:     int64(len(in.Body)),
+			ContentHash: formatHash(in.Hash),
+			Colstore:    in.Table.Name + colstore.Ext,
+		}
+		for _, name := range in.Table.Cols {
+			pt.Cols = append(pt.Cols, provCol{Name: name})
+		}
+		prov.Tables = append(prov.Tables, pt)
+	}
+	drop := make(map[string]bool, len(deleted))
+	for _, name := range deleted {
+		if _, ok := byFile[name]; !ok {
+			return fmt.Errorf("gen: patch: delete %q: not in provenance", name)
+		}
+		drop[name] = true
+	}
+	kept := prov.Tables[:0]
+	for _, pt := range prov.Tables {
+		if !drop[pt.File] {
+			kept = append(kept, pt)
+		}
+	}
+	prov.Tables = kept
+
+	if err := patchManifestTables(dir, drop); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(dir, ProvenanceFile), prov); err != nil {
+		return err
+	}
+	// The manifests no longer reference the deleted tables; their files
+	// are now garbage and safe to drop (a crash here merely leaves
+	// orphans no loader reads).
+	for _, name := range deleted {
+		for _, f := range []string{name, name + colstore.Ext} {
+			if err := os.Remove(filepath.Join(dir, f)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("gen: patch: removing %s: %w", f, err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeIngestTable writes one table's CSV and colstore files the way
+// SaveCorpus does.
+func writeIngestTable(dir string, in IngestTable) error {
+	if err := colstore.AtomicWrite(filepath.Join(dir, in.Table.Name), in.Body, false); err != nil {
+		return fmt.Errorf("gen: patch: %w", err)
+	}
+	if _, err := colstore.WriteFile(filepath.Join(dir, in.Table.Name+colstore.Ext), in.Table, in.Hash); err != nil {
+		return fmt.Errorf("gen: patch: %w", err)
+	}
+	return nil
+}
+
+// readProvenance loads and parses the provenance manifest.
+func readProvenance(dir string) (*provCorpus, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ProvenanceFile))
+	if err != nil {
+		return nil, fmt.Errorf("gen: reading provenance: %w", err)
+	}
+	var prov provCorpus
+	if err := json.Unmarshal(data, &prov); err != nil {
+		return nil, fmt.Errorf("gen: parsing %s: %w", ProvenanceFile, err)
+	}
+	return &prov, nil
+}
+
+// patchManifestTables rewrites datasets.json without the deleted
+// tables in its per-dataset table lists. A corpus without a dataset
+// manifest (or with nothing to drop) is left untouched.
+func patchManifestTables(dir string, drop map[string]bool) error {
+	if len(drop) == 0 {
+		return nil
+	}
+	path := filepath.Join(dir, ManifestFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("gen: patch: reading manifest: %w", err)
+	}
+	var manifest []ManifestDataset
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		return fmt.Errorf("gen: patch: parsing %s: %w", ManifestFile, err)
+	}
+	for i := range manifest {
+		kept := manifest[i].Tables[:0]
+		for _, name := range manifest[i].Tables {
+			if !drop[name] {
+				kept = append(kept, name)
+			}
+		}
+		manifest[i].Tables = kept
+	}
+	return writeJSON(path, manifest)
+}

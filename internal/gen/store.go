@@ -1,15 +1,19 @@
 package gen
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"ogdp/internal/ckan"
+	"ogdp/internal/colstore"
 	"ogdp/internal/csvio"
+	"ogdp/internal/parallel"
 	"ogdp/internal/table"
 )
 
@@ -64,7 +68,14 @@ type provTable struct {
 	DuplicateOf  string    `json:"duplicate_of,omitempty"`
 	Published    time.Time `json:"published"`
 	RawSize      int64     `json:"raw_size"`
-	Cols         []provCol `json:"cols"`
+	// ContentHash is the FNV-64a hash (hex) of the table's CSV bytes;
+	// ingest delta detection compares it instead of parsing the file,
+	// and the colstore loader rejects stale .col files against it.
+	ContentHash string `json:"content_hash,omitempty"`
+	// Colstore names the binary columnar serialization written
+	// alongside the CSV, when one exists.
+	Colstore string    `json:"colstore,omitempty"`
+	Cols     []provCol `json:"cols"`
 }
 
 type provCol struct {
@@ -77,27 +88,56 @@ type provCol struct {
 type SaveStats struct {
 	Datasets int
 	Tables   int
-	Bytes    int64
+	Bytes    int64 // raw CSV bytes
+	ColBytes int64 // colstore (binary columnar) bytes
 }
 
-// SaveCorpus writes a corpus to dir: one CSV per table plus the
-// datasets.json and provenance.json manifests. The directory is
-// created if needed.
+// SaveCorpus writes a corpus to dir: one CSV plus one colstore file
+// per table, and the datasets.json and provenance.json manifests. The
+// directory is created if needed. Every file is written via temp file
+// + rename so a crash mid-save never leaves a partially written file,
+// and the manifests are fsynced — an interrupted save is either
+// invisible (old manifests still describe the old files) or complete.
+// Table serialization fans out over the worker pool; manifest order is
+// the deterministic Metas order regardless of worker scheduling.
 func SaveCorpus(dir string, c *Corpus) (SaveStats, error) {
 	var st SaveStats
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return st, err
 	}
 
+	type tableFiles struct {
+		csvBytes int64
+		colBytes int64
+		hash     uint64
+		err      error
+	}
+	ctx := parallel.WithPool(context.Background(), "gen/save")
+	written := parallel.MustMap(parallel.Map(ctx, len(c.Metas), 0, func(i int) tableFiles {
+		m := c.Metas[i]
+		body := csvio.Bytes(m.Table)
+		hash := colstore.HashBytes(body)
+		if err := colstore.AtomicWrite(filepath.Join(dir, m.Table.Name), body, false); err != nil {
+			return tableFiles{err: err}
+		}
+		n, err := colstore.WriteFile(filepath.Join(dir, m.Table.Name+colstore.Ext), m.Table, hash)
+		if err != nil {
+			return tableFiles{err: err}
+		}
+		return tableFiles{csvBytes: int64(len(body)), colBytes: n, hash: hash}
+	}))
+
 	byDataset := map[string][]string{}
 	prov := provCorpus{Portal: c.PortalName, Profile: c.Profile.Name}
-	for _, m := range c.Metas {
-		if err := os.WriteFile(filepath.Join(dir, m.Table.Name), csvio.Bytes(m.Table), 0o644); err != nil {
-			return st, err
+	for i, m := range c.Metas {
+		w := written[i]
+		if w.err != nil {
+			return st, fmt.Errorf("gen: saving %s: %w", m.Table.Name, w.err)
 		}
 		byDataset[m.Dataset] = append(byDataset[m.Dataset], m.Table.Name)
 		st.Tables++
-		st.Bytes += m.RawSize
+		st.Bytes += w.csvBytes
+		st.ColBytes += w.colBytes
 
 		pt := provTable{
 			File:         m.Table.Name,
@@ -110,6 +150,8 @@ func SaveCorpus(dir string, c *Corpus) (SaveStats, error) {
 			DuplicateOf:  m.DuplicateOf,
 			Published:    m.Published,
 			RawSize:      m.RawSize,
+			ContentHash:  formatHash(w.hash),
+			Colstore:     m.Table.Name + colstore.Ext,
 		}
 		for _, ci := range m.Cols {
 			pt.Cols = append(pt.Cols, provCol{Name: ci.Name, Role: int(ci.Role), Pool: ci.Pool})
@@ -146,34 +188,60 @@ func SaveCorpus(dir string, c *Corpus) (SaveStats, error) {
 	return st, nil
 }
 
+// writeJSON atomically writes an indented, fsynced JSON manifest: the
+// manifests are the corpus's commit record, so they must hit disk
+// before the rename makes them visible.
 func writeJSON(path string, v any) error {
-	f, err := os.Create(path)
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return colstore.AtomicWrite(path, append(data, '\n'), true)
 }
 
-// LoadCorpus reads a corpus saved by SaveCorpus back from dir,
-// reconstructing the full generation provenance from provenance.json.
-// Tables are reparsed with the cleaning pipeline disabled
-// (KeepEmptyTrailingColumns, no wide-table cutoff) so the cells
-// roundtrip exactly; the result is analysis-equivalent to the corpus
-// that was saved.
+// formatHash renders a content hash the way provenance.json stores it.
+func formatHash(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+// parseHash parses a provenance content hash; ok is false for empty or
+// malformed values.
+func parseHash(s string) (h uint64, ok bool) {
+	h, err := strconv.ParseUint(s, 16, 64)
+	return h, err == nil && s != ""
+}
+
+// LoadNote records one per-file deviation taken while loading a saved
+// corpus — typically a fall back from the colstore fast path to CSV
+// re-parsing, with the reason.
+type LoadNote struct {
+	File   string
+	Reason string
+}
+
+// LoadCorpus reads a corpus saved by SaveCorpus back from dir; see
+// LoadCorpusNotes.
 func LoadCorpus(dir string) (*Corpus, error) {
+	c, _, err := LoadCorpusNotes(dir)
+	return c, err
+}
+
+// LoadCorpusNotes reads a corpus saved by SaveCorpus back from dir,
+// reconstructing the full generation provenance from provenance.json.
+// Tables are served from their colstore files when present, current
+// (content hash matches the provenance), and intact — the encodings
+// then alias a read-only mapping and no rows are materialized. A
+// missing, stale, or corrupt colstore falls back to re-parsing the CSV
+// with the cleaning pipeline disabled (KeepEmptyTrailingColumns, no
+// wide-table cutoff) so the cells roundtrip exactly; each fallback is
+// reported as a LoadNote. Either way the result is
+// analysis-equivalent to the corpus that was saved.
+func LoadCorpusNotes(dir string) (*Corpus, []LoadNote, error) {
 	data, err := os.ReadFile(filepath.Join(dir, ProvenanceFile))
 	if err != nil {
-		return nil, fmt.Errorf("gen: loading corpus: %w", err)
+		return nil, nil, fmt.Errorf("gen: loading corpus: %w", err)
 	}
 	var prov provCorpus
 	if err := json.Unmarshal(data, &prov); err != nil {
-		return nil, fmt.Errorf("gen: parsing %s: %w", ProvenanceFile, err)
+		return nil, nil, fmt.Errorf("gen: parsing %s: %w", ProvenanceFile, err)
 	}
 
 	c := &Corpus{PortalName: prov.Portal}
@@ -189,14 +257,18 @@ func LoadCorpus(dir string) (*Corpus, error) {
 			Metadata:  d.Metadata,
 		})
 	}
+	var notes []LoadNote
 	for _, pt := range prov.Tables {
-		t, err := loadTable(dir, pt.File)
+		t, note, err := loadProvTable(dir, &pt)
 		if err != nil {
-			return nil, err
+			return nil, notes, err
+		}
+		if note != "" {
+			notes = append(notes, LoadNote{File: pt.File, Reason: note})
 		}
 		t.DatasetID = pt.Dataset
 		if got, want := t.NumCols(), len(pt.Cols); got != want {
-			return nil, fmt.Errorf("gen: %s: %d columns on disk, %d in provenance", pt.File, got, want)
+			return nil, notes, fmt.Errorf("gen: %s: %d columns on disk, %d in provenance", pt.File, got, want)
 		}
 		m := &TableMeta{
 			Table:        t,
@@ -215,7 +287,34 @@ func LoadCorpus(dir string) (*Corpus, error) {
 		}
 		c.Metas = append(c.Metas, m)
 	}
-	return c, nil
+	return c, notes, nil
+}
+
+// loadProvTable loads one table, preferring its colstore serialization
+// and falling back to CSV re-parsing with a non-empty reason when the
+// colstore is absent, stale, or fails validation. A fallback whose CSV
+// is also unreadable is an error: the manifest references data the
+// corpus no longer has.
+func loadProvTable(dir string, pt *provTable) (t *table.Table, note string, err error) {
+	if pt.Colstore != "" {
+		t, hash, err := colstore.Load(filepath.Join(dir, pt.Colstore))
+		want, ok := parseHash(pt.ContentHash)
+		switch {
+		case err != nil:
+			note = fmt.Sprintf("colstore unusable (%v); re-parsed CSV", err)
+		case !ok:
+			note = "colstore ignored: provenance content_hash missing or malformed; re-parsed CSV"
+		case hash != want:
+			note = fmt.Sprintf("colstore stale: stamped content hash %016x, provenance has %s; re-parsed CSV", hash, pt.ContentHash)
+		default:
+			return t, "", nil
+		}
+	}
+	t, err = loadTable(dir, pt.File)
+	if err != nil && note != "" {
+		err = fmt.Errorf("%w (after: %s)", err, note)
+	}
+	return t, note, err
 }
 
 // loadTable reparses one saved table without the cleaning pipeline:

@@ -1,0 +1,57 @@
+package minhash
+
+import (
+	"reflect"
+	"testing"
+)
+
+// set builds element hashes for a synthetic set id range.
+func set(lo, hi int) []uint64 {
+	out := make([]uint64, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		out = append(out, uint64(v)*0x9E3779B97F4A7C15)
+	}
+	return out
+}
+
+func TestRemoveHidesIdEverywhere(t *testing.T) {
+	ix := NewIndex(64, 2)
+	sigs := []Signature{
+		Sketch(set(0, 100), 128),
+		Sketch(set(0, 100), 128), // twin of 0: collides everywhere
+		Sketch(set(50, 150), 128),
+	}
+	for _, s := range sigs {
+		ix.Add(s)
+	}
+	if got := ix.Candidates(sigs[0]); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("pre-remove candidates = %v", got)
+	}
+
+	ix.Remove(1)
+	if got := ix.Candidates(sigs[0]); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("candidates after remove = %v, want [0 2]", got)
+	}
+	for _, c := range ix.Query(sigs[0], 0) {
+		if c.ID == 1 {
+			t.Error("Query returned a removed id")
+		}
+	}
+	for _, p := range ix.AllPairs(0) {
+		if p[0] == 1 || p[1] == 1 {
+			t.Errorf("AllPairs returned removed id in %v", p)
+		}
+	}
+
+	// Ids are never reused: adding after a removal extends the sequence.
+	if id := ix.Add(Sketch(set(200, 300), 128)); id != 3 {
+		t.Errorf("post-remove Add assigned id %d, want 3", id)
+	}
+	// Unknown and repeated removals are no-ops.
+	ix.Remove(-1)
+	ix.Remove(99)
+	ix.Remove(1)
+	if got := ix.Candidates(sigs[0]); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("candidates after no-op removes = %v, want [0 2]", got)
+	}
+}

@@ -108,11 +108,15 @@ type Options struct {
 	Registry *obs.Registry
 }
 
-// Service answers queries over one immutable loaded corpus.
+// Service answers queries over one loaded corpus. The corpus is
+// immutable between explicit patches: ApplyDelta (delta.go) revises it
+// in place during a quiesced maintenance window; at all other times
+// every method is safe for concurrent use.
 type Service struct {
 	src     corpus.Source
 	tables  []*table.Table
 	byName  map[string]int
+	cats    map[string]string // dataset id -> category, for delta metas
 	eng     *search.Engine
 	ua      *union.Analysis
 	hash    uint64
@@ -143,24 +147,30 @@ func New(src corpus.Source, opts Options) *Service {
 		len(s.tables), s.workers, func(i int) {
 			s.tables[i].Profiles()
 		}))
+	s.cats = datasetCategories(src)
 	s.eng = search.NewWithOptions(s.tables, search.Options{
 		MinUnique: search.MinUniqueDefault,
-		Meta:      searchMetas(src),
+		Meta:      searchMetas(src, s.cats),
 		Registry:  opts.Registry,
 	})
 	s.ua = union.Find(s.tables)
-	s.hash = contentHash(src.PortalID(), s.tables)
+	s.hash = contentHash(src)
 	return s
+}
+
+// datasetCategories maps dataset ids to their subject categories.
+func datasetCategories(src corpus.Source) map[string]string {
+	cat := make(map[string]string)
+	for _, d := range src.DatasetMetas() {
+		cat[d.ID] = d.Category
+	}
+	return cat
 }
 
 // searchMetas projects the source's dataset metadata into the search
 // engine's per-table metadata signals (dataset identity plus the
 // dataset's subject category).
-func searchMetas(src corpus.Source) []search.TableMeta {
-	cat := make(map[string]string)
-	for _, d := range src.DatasetMetas() {
-		cat[d.ID] = d.Category
-	}
+func searchMetas(src corpus.Source, cat map[string]string) []search.TableMeta {
 	metas := src.TableMetas()
 	out := make([]search.TableMeta, len(metas))
 	for i, m := range metas {
@@ -174,7 +184,30 @@ func searchMetas(src corpus.Source) []search.TableMeta {
 // multiplicities. Two corpora with the same hash answer every query
 // identically, which is what lets cached results survive a server
 // restart onto the same corpus and die with a changed one.
-func contentHash(portal string, tables []*table.Table) uint64 {
+//
+// The combination is an XOR of per-table terms (each avalanche-mixed so
+// XOR does not cancel structure), which makes the fingerprint
+// order-independent and incrementally patchable: ApplyDelta XORs out
+// the terms of removed revisions and XORs in their replacements, and
+// lands on exactly the hash a from-scratch build over the patched
+// corpus computes. Column encodings are read through the source's
+// ColumnSource capability when it has one, so hashing an mmap-backed
+// corpus touches no row data.
+func contentHash(src corpus.Source) uint64 {
+	h := mix64(strHash(src.PortalID()))
+	metas := src.TableMetas()
+	for i := range metas {
+		t := metas[i].Table
+		h ^= tableTerm(t.Name, t.Cols, corpus.ColumnEncodings(src, i))
+	}
+	return h
+}
+
+// tableTerm is one table's contribution to the corpus content hash:
+// an FNV digest of its name, column names, and every column's
+// distinct-value hashes with multiplicities, finalized through mix64
+// so the XOR combination in contentHash keeps full avalanche.
+func tableTerm(name string, cols []string, encs []*table.Encoding) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	writeStr := func(s string) {
@@ -182,24 +215,48 @@ func contentHash(portal string, tables []*table.Table) uint64 {
 		h.Write(buf[:])
 		h.Write([]byte(s))
 	}
-	writeStr(portal)
-	for _, t := range tables {
-		writeStr(t.Name)
-		for _, c := range t.Cols {
-			writeStr(c)
-		}
-		for ci := range t.Cols {
-			p := t.Profile(ci)
-			counts := p.ValueHashCounts()
-			for i, v := range p.ValueHashes() {
-				binary.LittleEndian.PutUint64(buf[:], v)
-				h.Write(buf[:])
-				binary.LittleEndian.PutUint64(buf[:], uint64(counts[i]))
-				h.Write(buf[:])
-			}
+	writeStr(name)
+	for _, c := range cols {
+		writeStr(c)
+	}
+	for _, e := range encs {
+		counts := e.ValueHashCounts()
+		for i, v := range e.ValueHashes() {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+			binary.LittleEndian.PutUint64(buf[:], uint64(counts[i]))
+			h.Write(buf[:])
 		}
 	}
+	return mix64(h.Sum64())
+}
+
+// tableTermOf is tableTerm over a table's own lazy encodings.
+func tableTermOf(t *table.Table) uint64 {
+	encs := make([]*table.Encoding, t.NumCols())
+	for c := range encs {
+		encs[c] = t.Encoding(c)
+	}
+	return tableTerm(t.Name, t.Cols, encs)
+}
+
+// strHash is FNV-64a of a string.
+func strHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
 	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche mix,
+// so that XOR-combining per-table terms never cancels shared structure
+// between similar tables.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Hash returns the corpus content fingerprint.
@@ -209,8 +266,17 @@ func (s *Service) Hash() uint64 { return s.hash }
 // keys, response headers, and logs.
 func (s *Service) HashString() string { return fmt.Sprintf("%016x", s.hash) }
 
-// NumTables returns the corpus size.
-func (s *Service) NumTables() int { return len(s.tables) }
+// NumTables returns the corpus size (deleted-table placeholders left
+// behind by ApplyDelta are not counted).
+func (s *Service) NumTables() int {
+	n := 0
+	for _, t := range s.tables {
+		if t.NumCols() > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // NumIndexed returns how many join-eligible columns the engine
 // indexed.
@@ -223,11 +289,15 @@ func (s *Service) IndexSkips() search.SkipStats { return s.eng.Skips() }
 // PortalID names the served corpus.
 func (s *Service) PortalID() string { return s.src.PortalID() }
 
-// Tables lists the corpus tables in canonical order.
+// Tables lists the corpus tables in canonical order. Slots deleted by
+// ApplyDelta (placeholder tables with no columns) are omitted.
 func (s *Service) Tables() []TableInfo {
-	out := make([]TableInfo, len(s.tables))
-	for i, t := range s.tables {
-		out[i] = TableInfo{Name: t.Name, Rows: t.NumRows(), Cols: append([]string(nil), t.Cols...)}
+	out := make([]TableInfo, 0, len(s.tables))
+	for _, t := range s.tables {
+		if t.NumCols() == 0 {
+			continue
+		}
+		out = append(out, TableInfo{Name: t.Name, Rows: t.NumRows(), Cols: append([]string(nil), t.Cols...)})
 	}
 	return out
 }

@@ -67,29 +67,8 @@ func NewWithOptions(tables []*table.Table, opts Options) *Engine {
 		sigSize:   opts.SignatureSize,
 		minEvJac:  opts.EvidenceJaccard,
 	}
-	for ti, t := range tables {
-		for ci := range t.Cols {
-			p := t.Profile(ci)
-			// An empty column is "no values" regardless of the gate; the
-			// ledger must not blame the distinct-value bar for it.
-			if p.Distinct == 0 {
-				e.skips.Empty++
-				continue
-			}
-			if opts.MinUnique > 0 && p.Distinct < opts.MinUnique {
-				e.skips.MinUnique++
-				continue
-			}
-			id := int32(len(e.columns))
-			e.columns = append(e.columns, ColumnRef{Table: ti, Column: ci})
-			e.distinct = append(e.distinct, p.Distinct)
-			e.profiles = append(e.profiles, p)
-			// The profile's hash set is already sorted, so posting lists
-			// fill in ascending column-id order with ascending hashes.
-			for _, h := range p.ValueHashes() {
-				e.postings[h] = append(e.postings[h], id)
-			}
-		}
+	for ti := range tables {
+		e.indexTableColumns(ti)
 	}
 	// Candidate generation goes through LSH banding only when the
 	// corpus is large enough for banding to beat the exact postings
@@ -105,8 +84,17 @@ func NewWithOptions(tables []*table.Table, opts Options) *Engine {
 	return e
 }
 
-// NumIndexed returns how many columns the engine indexed.
-func (e *Engine) NumIndexed() int { return len(e.columns) }
+// NumIndexed returns how many columns the engine currently indexes
+// (columns of removed tables no longer count).
+func (e *Engine) NumIndexed() int {
+	n := 0
+	for _, p := range e.profiles {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // overlaps computes the exact intersection size between the query
 // column's distinct values and every indexed column sharing at least

@@ -262,16 +262,17 @@ func (t *Table) CanonCodes(c int) (codes []uint32, size int) {
 }
 
 // Value returns the raw cell value of column c, row r.
-func (t *Table) Value(c, r int) string { return t.Data[c][r] }
+func (t *Table) Value(c, r int) string { return t.data()[c][r] }
 
 // PrefixShared returns a table over the first n rows of t. Cell data
 // is shared with the receiver (no copying); the prefix table computes
 // its own profiles.
 func (t *Table) PrefixShared(n int) *Table {
+	d := t.data()
 	p := New(t.Name, t.Cols)
 	p.DatasetID = t.DatasetID
-	for c := range t.Data {
-		p.Data[c] = t.Data[c][:n]
+	for c := range d {
+		p.Data[c] = d[c][:n]
 	}
 	return p
 }
@@ -282,8 +283,10 @@ func (t *Table) AppendTable(src *Table) {
 	if src.NumCols() != t.NumCols() {
 		panic("table: AppendTable column count mismatch")
 	}
+	t.data()
+	sd := src.data()
 	for c := range t.Data {
-		t.Data[c] = append(t.Data[c], src.Data[c]...)
+		t.Data[c] = append(t.Data[c], sd[c]...)
 	}
 	t.InvalidateProfiles()
 }

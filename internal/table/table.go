@@ -72,13 +72,23 @@ type Table struct {
 	// Cols holds the column names, in order.
 	Cols []string
 	// Data holds the cell values: Data[c][r] is row r of column c.
-	// All columns have the same length.
+	// All columns have the same length. For encoding-backed tables
+	// (FromEncodings) Data starts nil and is materialized from the
+	// dictionaries on first row-level access; always read it through
+	// accessors (or data()) so materialization can happen.
 	Data [][]string
 	// Ragged records cells truncated or padded at ingest time.
 	Ragged RaggedCells
 
 	initMu sync.Mutex                 // guards st creation and invalidation
 	st     atomic.Pointer[tableState] // current lazy-cache generation
+
+	// ext marks an encoding-backed table whose Data has not been
+	// materialized yet (see FromEncodings); extRows carries its row
+	// count, since len(Data[0]) is meaningless until materialization.
+	ext     atomic.Bool
+	extRows int
+	dataMu  sync.Mutex // serializes the one Data materialization
 }
 
 // tableState is one generation of a table's lazy caches. Invalidation
@@ -148,6 +158,9 @@ func FromRows(name string, cols []string, rows [][]string) *Table {
 
 // NumRows returns the number of tuples.
 func (t *Table) NumRows() int {
+	if t.ext.Load() {
+		return t.extRows
+	}
 	if len(t.Data) == 0 {
 		return 0
 	}
@@ -162,6 +175,7 @@ func (t *Table) AppendRow(row []string) {
 	if len(row) != len(t.Cols) {
 		panic(fmt.Sprintf("table %s: AppendRow got %d values, want %d", t.Name, len(row), len(t.Cols)))
 	}
+	t.data()
 	for c, v := range row {
 		t.Data[c] = append(t.Data[c], v)
 	}
@@ -169,7 +183,7 @@ func (t *Table) AppendRow(row []string) {
 }
 
 // Column returns the values of column c.
-func (t *Table) Column(c int) []string { return t.Data[c] }
+func (t *Table) Column(c int) []string { return t.data()[c] }
 
 // ColumnIndex returns the index of the named column, or -1.
 func (t *Table) ColumnIndex(name string) int {
@@ -183,9 +197,10 @@ func (t *Table) ColumnIndex(name string) int {
 
 // Row materializes row r (a fresh slice).
 func (t *Table) Row(r int) []string {
+	d := t.data()
 	row := make([]string, len(t.Cols))
 	for c := range t.Cols {
-		row[c] = t.Data[c][r]
+		row[c] = d[c][r]
 	}
 	return row
 }
@@ -205,12 +220,13 @@ func (t *Table) Rows() [][]string {
 // are any column profiles and encodings already published (both are
 // immutable, so sharing them across tables is safe).
 func (t *Table) Project(cols []int) *Table {
+	d := t.data()
 	p := &Table{Name: t.Name, DatasetID: t.DatasetID}
 	src := t.state()
 	ps := &tableState{cols: make([]colSlot, len(cols))}
 	for i, c := range cols {
 		p.Cols = append(p.Cols, t.Cols[c])
-		p.Data = append(p.Data, t.Data[c])
+		p.Data = append(p.Data, d[c])
 		if e := src.cols[c].enc.Load(); e != nil {
 			ps.cols[i].enc.Store(e)
 		}
@@ -226,11 +242,12 @@ func (t *Table) Project(cols []int) *Table {
 // the given order. Cell values are copied, so the result is
 // independent of the receiver.
 func (t *Table) SelectRows(rows []int) *Table {
+	d := t.data()
 	out := New(t.Name, t.Cols)
 	out.DatasetID = t.DatasetID
 	for c := range out.Data {
 		col := make([]string, len(rows))
-		src := t.Data[c]
+		src := d[c]
 		for i, r := range rows {
 			col[i] = src[r]
 		}
@@ -242,9 +259,10 @@ func (t *Table) SelectRows(rows []int) *Table {
 // Clone returns a deep copy of the table (excluding cached profiles
 // and encodings).
 func (t *Table) Clone() *Table {
+	d := t.data()
 	c := &Table{Name: t.Name, DatasetID: t.DatasetID, Cols: append([]string(nil), t.Cols...), Ragged: t.Ragged}
-	c.Data = make([][]string, len(t.Data))
-	for i, col := range t.Data {
+	c.Data = make([][]string, len(d))
+	for i, col := range d {
 		c.Data[i] = append([]string(nil), col...)
 	}
 	return c
@@ -357,7 +375,10 @@ func profileColumn(name string, e *Encoding) *ColumnProfile {
 // schema key by publishing a fresh cache generation; call after
 // mutating Data directly. Values handed out before the invalidation
 // stay valid for (stale) readers but are never returned again.
+// Encoding-backed tables materialize their Data first — the encodings
+// about to be dropped are the only copy of the cell values.
 func (t *Table) InvalidateProfiles() {
+	t.data()
 	t.initMu.Lock()
 	t.st.Store(&tableState{cols: make([]colSlot, len(t.Cols))})
 	t.initMu.Unlock()
